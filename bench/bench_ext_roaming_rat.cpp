@@ -1,0 +1,56 @@
+// Extension bench: the populations and facts the paper filters or asserts
+// but does not plot.
+//
+//  * Inbound roamers: Section 2.3 drops them from the mobility pipeline.
+//    Here we track them — their near-disappearance during the relocation
+//    window is the international-travel-ban signature.
+//  * RAT time share: Section 2.4 states users spend ~75% of connected time
+//    on 4G and justifies the 4G-only KPI scope with it. The simulator's
+//    attachment model is configured to that share; this bench closes the
+//    loop by measuring it from the generated attachment decisions.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto config = bench::figure_scenario(/*with_kpis=*/true);
+  config.collect_signaling = false;
+  std::cout << "Extension: roamer presence & RAT share (simulating "
+            << config.num_users << " subscribers, seed " << config.seed
+            << ")\n";
+  const sim::Dataset data = sim::run_scenario(config);
+
+  print_banner(std::cout, "Inbound roamers active per day (weekly mean)");
+  TextTable roamers({"week", "active roamers", "vs wk9 %"});
+  const double baseline = data.roamers_active.week_mean(9);
+  for (int w = 9; w <= 19; ++w) {
+    const double mean = data.roamers_active.week_mean(w);
+    roamers.row().cell(w).cell(mean, 0).cell(
+        stats::delta_percent(mean, baseline), 1);
+  }
+  roamers.print(std::cout);
+
+  print_banner(std::cout, "RAT time share (Section 2.4)");
+  std::cout << "  configured 4G share:  " << config.lte_time_share << "\n"
+            << "  measured 4G share:    " << data.measured_lte_time_share
+            << "  (over the KPI window; sites without legacy RATs serve\n"
+               "   their users on 4G regardless, so measured > configured)\n";
+
+  bench::ClaimChecker claims;
+  const double wk15 = stats::delta_percent(
+      data.roamers_active.week_mean(15), baseline);
+  claims.check("inbound roamers collapse after the travel restrictions",
+               "most left (flights home)", wk15, wk15 < -50.0);
+  const double wk11 = stats::delta_percent(
+      data.roamers_active.week_mean(11), baseline);
+  claims.check("roamer population still near baseline pre-restrictions",
+               "stable before week 12", wk11, wk11 > -15.0);
+  claims.check("users spend ~75% of connected time on 4G",
+               "75% (Section 2.4)", 100.0 * data.measured_lte_time_share,
+               data.measured_lte_time_share > 0.72 &&
+                   data.measured_lte_time_share < 0.92);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension bench: seed robustness.
+//
+// Every figure bench runs one seed. This bench runs the scenario under
+// several seeds and reports the spread of the headline numbers, verifying
+// that the reproduction's conclusions are properties of the model, not of
+// one lucky random stream.
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "bench_util.h"
+
+using namespace cellscope;
+
+namespace {
+
+struct Headlines {
+  double gyration_trough = 0.0;
+  double voice_peak = 0.0;
+  double dl_trough = 0.0;
+};
+
+Headlines measure(sim::ScenarioConfig config, std::uint64_t seed) {
+  config.seed = seed;
+  config.collect_signaling = false;
+  const sim::Dataset data = sim::run_scenario(config);
+  Headlines h;
+  const double g_base = data.gyration_baseline();
+  for (int w = 13; w <= 16; ++w)
+    h.gyration_trough = std::min(
+        h.gyration_trough,
+        stats::delta_percent(data.gyration_national.week_baseline(0, w),
+                             g_base));
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+  analysis::KpiGroupSeries dl{data.kpis, grouping,
+                              telemetry::KpiMetric::kDlVolume};
+  for (const auto& point : dl.weekly_delta(0, 9, 13, 19))
+    h.dl_trough = std::min(h.dl_trough, point.value);
+  analysis::KpiGroupSeries voice{data.kpis, grouping,
+                                 telemetry::KpiMetric::kVoiceVolume};
+  for (const auto& point : voice.weekly_delta(0, 9, 11, 13))
+    h.voice_peak = std::max(h.voice_peak, point.value);
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  auto config = bench::figure_scenario(/*with_kpis=*/true);
+  // Moderate scale so five runs stay affordable.
+  config.num_users = std::min<std::uint32_t>(config.num_users, 20'000);
+  const std::vector<std::uint64_t> seeds = {42, 7, 1234, 99, 2020};
+  std::cout << "Extension: seed stability (" << config.num_users
+            << " subscribers x " << seeds.size() << " seeds)\n";
+
+  stats::Running gyration, voice, dl;
+  TextTable table({"seed", "gyration trough %", "voice peak %",
+                   "UK DL trough %"});
+  for (const auto seed : seeds) {
+    std::cout << "  seed " << seed << "...\n";
+    const Headlines h = measure(config, seed);
+    table.row()
+        .cell(static_cast<long long>(seed))
+        .cell(h.gyration_trough)
+        .cell(h.voice_peak)
+        .cell(h.dl_trough);
+    gyration.add(h.gyration_trough);
+    voice.add(h.voice_peak);
+    dl.add(h.dl_trough);
+  }
+  print_banner(std::cout, "Headline numbers across seeds");
+  table.print(std::cout);
+  std::cout << "  spread (max - min): gyration "
+            << gyration.max() - gyration.min() << " pp, voice "
+            << voice.max() - voice.min() << " pp, DL "
+            << dl.max() - dl.min() << " pp\n";
+
+  bench::ClaimChecker claims;
+  claims.check_text(
+      "gyration trough is deep for every seed", "always < -55%",
+      bench::pct(gyration.max()), gyration.max() < -55.0);
+  claims.check_text("voice peak is a surge for every seed", "always > +90%",
+                    bench::pct(voice.min()), voice.min() > 90.0);
+  claims.check_text("DL trough is a clear decrease for every seed",
+                    "always < -15%", bench::pct(dl.max()), dl.max() < -15.0);
+  claims.check_text("seed-to-seed spread is small relative to the effects",
+                    "stable conclusions",
+                    "gyration +/-" + bench::pct(gyration.stddev()),
+                    gyration.stddev() < 5.0 && dl.stddev() < 5.0);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Extension bench: "rewound the traffic load by one year" (Section 1).
+//
+// The paper remarks that the lockdown's -20..-25% traffic decrease returned
+// the MNO's load to March-2019 levels, "when the MNO had less customers and
+// applications were less bandwidth hungry". The authors had 2019 telemetry;
+// we substitute a 2019-like scenario — the same UK with a year's less
+// subscriber growth (~-7%) and a year's less per-user demand growth (~-15%)
+// — and compare its baseline (week 9) network load against the 2020
+// lockdown weeks.
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "bench_util.h"
+
+using namespace cellscope;
+
+namespace {
+// Year-over-year growth assumptions (documented substitution: typical
+// European MNO figures for 2019-2020 — mid-single-digit subscriber growth,
+// double-digit per-user data growth).
+constexpr double kSubscriberGrowth = 0.07;
+constexpr double kPerUserDemandGrowth = 0.15;
+}  // namespace
+
+int main() {
+  auto config_2020 = bench::figure_scenario(/*with_kpis=*/true);
+  config_2020.collect_signaling = false;
+
+  auto config_2019 = config_2020;
+  config_2019.num_users = static_cast<std::uint32_t>(
+      config_2020.num_users / (1.0 + kSubscriberGrowth));
+  config_2019.demand.away_dl_mb_per_hour /= (1.0 + kPerUserDemandGrowth);
+
+  std::cout << "Extension: does the lockdown rewind traffic to 2019?\n"
+            << "  2020 scenario: " << config_2020.num_users
+            << " subscribers\n  2019 scenario: " << config_2019.num_users
+            << " subscribers, demand /= " << (1.0 + kPerUserDemandGrowth)
+            << "\nsimulating both...\n";
+
+  const sim::Dataset data_2020 = sim::run_scenario(config_2020);
+  const sim::Dataset data_2019 = sim::run_scenario(config_2019);
+
+  // Compare the NETWORK TOTAL daily DL volume (sum across cells): absolute
+  // load on the infrastructure, which is what "rewound" refers to.
+  const auto total_dl = [](const sim::Dataset& data, int week) {
+    double sum = 0.0;
+    int days = 0;
+    SimDay current = -1;
+    double day_sum = 0.0;
+    for (const auto& record : data.kpis.records()) {
+      if (iso_week(record.day) != week) continue;
+      if (record.day != current) {
+        if (current >= 0) {
+          sum += day_sum;
+          ++days;
+        }
+        current = record.day;
+        day_sum = 0.0;
+      }
+      day_sum += record.dl_volume_mb;
+    }
+    if (current >= 0) {
+      sum += day_sum;
+      ++days;
+    }
+    return days ? sum / days : 0.0;
+  };
+
+  const double baseline_2019 = total_dl(data_2019, 9);
+  const double baseline_2020 = total_dl(data_2020, 9);
+
+  print_banner(std::cout, "Network-total DL volume per day (sum of cells)");
+  TextTable table({"week", "2020 (MB/day)", "vs 2020 wk9 %", "vs 2019 wk9 %"});
+  for (int w = 9; w <= 19; ++w) {
+    const double v = total_dl(data_2020, w);
+    table.row()
+        .cell(w)
+        .cell(v, 0)
+        .cell(stats::delta_percent(v, baseline_2020), 1)
+        .cell(stats::delta_percent(v, baseline_2019), 1);
+  }
+  table.print(std::cout);
+  std::cout << "  2019-scenario week-9 baseline: " << baseline_2019
+            << " MB/day (" << stats::delta_percent(baseline_2019, baseline_2020)
+            << "% vs the 2020 baseline)\n";
+
+  // Lockdown-average 2020 load vs the 2019 baseline.
+  double lockdown = 0.0;
+  int n = 0;
+  for (int w = 14; w <= 19; ++w) {
+    lockdown += total_dl(data_2020, w);
+    ++n;
+  }
+  lockdown /= std::max(1, n);
+  const double vs_2019 = stats::delta_percent(lockdown, baseline_2019);
+
+  bench::ClaimChecker claims;
+  claims.check("2019 baseline sits below the 2020 baseline",
+               "fewer customers, leaner apps",
+               stats::delta_percent(baseline_2019, baseline_2020),
+               baseline_2019 < baseline_2020);
+  claims.check(
+      "lockdown-era 2020 load lands near the 2019 baseline (\"rewound the "
+      "traffic load by one year\")",
+      "similar to March 2019", vs_2019, std::abs(vs_2019) < 15.0);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2: inferred residential LAD population vs census population.
+//
+// Runs home detection over the February warm-up, assigns every detected
+// user to a Local Authority District and regresses inferred counts against
+// the synthetic census. The paper reports a linear relationship with
+// r^2 = 0.955, validating the representativity of the MNO's footprint.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/false,
+      "Figure 2: home-detection validation against the census");
+
+  print_banner(std::cout, "Per-LAD inferred residents vs census");
+  TextTable table({"LAD", "census", "inferred", "share"});
+  for (const auto& point : data.home_validation.points) {
+    const double share =
+        point.census_population > 0
+            ? static_cast<double>(point.inferred_residents) /
+                  static_cast<double>(point.census_population)
+            : 0.0;
+    table.row()
+        .cell(data.geography->lad(point.lad).name)
+        .cell(static_cast<long long>(point.census_population))
+        .cell(static_cast<long long>(point.inferred_residents))
+        .cell(share, 5);
+  }
+  table.print(std::cout);
+
+  const auto& fit = data.home_validation.fit;
+  std::cout << "\nlinear fit: inferred = " << fit.slope << " * census + "
+            << fit.intercept << "   (r^2 = " << fit.r_squared << ", n = "
+            << fit.n << ")\n"
+            << "expected market share: "
+            << data.home_validation.expected_market_share << "\n"
+            << "homes detected: " << data.homes.size() << " of "
+            << data.eligible_users << " eligible users\n";
+
+  bench::ClaimChecker claims;
+  claims.check("linear relationship between inferred and census populations",
+               "r^2 = 0.955", 100.0 * fit.r_squared, fit.r_squared > 0.90);
+  const double slope_ratio =
+      data.home_validation.expected_market_share > 0
+          ? fit.slope / data.home_validation.expected_market_share
+          : 0.0;
+  claims.check("fit slope recovers the configured market share",
+               "unbiased (ratio ~1)", 100.0 * slope_ratio,
+               slope_ratio > 0.85 && slope_ratio < 1.15);
+  const double coverage =
+      data.eligible_users
+          ? 100.0 * static_cast<double>(data.homes.size()) /
+                static_cast<double>(data.eligible_users)
+          : 0.0;
+  claims.check("fraction of users with a detected home",
+               "16M of 22M (~73%)", coverage, coverage > 60.0);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 3: national mobility — daily % change in average radius of
+// gyration (3a) and mobility entropy (3b) per user, vs the week-9 average.
+//
+// Paper shape: -20% gyration already in week 12 (voluntary distancing),
+// a steep drop to about -50% after the week-13 stay-at-home order, a
+// smaller relative reduction for entropy than for gyration, and a slight
+// relaxation from week 15.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/false, "Figure 3: national mobility (gyration & entropy)");
+
+  const double gyration_baseline = data.gyration_baseline();
+  const double entropy_baseline = data.entropy_baseline();
+  std::cout << "week-9 baselines: gyration = " << gyration_baseline
+            << " km, entropy = " << entropy_baseline << " nats\n";
+
+  const auto gyration = data.gyration_national.daily_delta(0, gyration_baseline);
+  const auto entropy = data.entropy_national.daily_delta(0, entropy_baseline);
+
+  print_banner(std::cout, "Daily % change vs week-9 average (weeks 9-19)");
+  TextTable table({"day", "weekend", "gyration %", "entropy %"});
+  const SimDay start = week_start_day(9);
+  for (std::size_t i = 0; i < gyration.size(); ++i) {
+    if (gyration[i].day < start) continue;
+    table.row()
+        .cell(describe_day(gyration[i].day))
+        .cell(is_weekend(gyration[i].day) ? "*" : "")
+        .cell(gyration[i].value)
+        .cell(entropy[i].value);
+  }
+  table.print(std::cout);
+
+  // Weekly means for the claims.
+  const auto gyration_week = [&](int w) {
+    return stats::delta_percent(data.gyration_national.week_baseline(0, w),
+                                gyration_baseline);
+  };
+  const auto entropy_week = [&](int w) {
+    return stats::delta_percent(data.entropy_national.week_baseline(0, w),
+                                entropy_baseline);
+  };
+
+  bench::ClaimChecker claims;
+  const double g12 = gyration_week(12);
+  claims.check("gyration decrease in week 12 (voluntary distancing)",
+               "-20%", g12, g12 < -10.0 && g12 > -35.0);
+  double g_trough = 0.0, e_trough = 0.0;
+  for (int w = 13; w <= 14; ++w) {
+    g_trough = std::min(g_trough, gyration_week(w));
+    e_trough = std::min(e_trough, entropy_week(w));
+  }
+  claims.check("gyration drop after stay-at-home (weeks 13-14)", "-50%",
+               g_trough, g_trough < -45.0 && g_trough > -75.0);
+  claims.check("entropy drops too, but less than gyration",
+               "smaller reduction", e_trough, e_trough > g_trough && e_trough < -25.0);
+  const double g_relax = gyration_week(16) - gyration_week(14);
+  claims.check("slight relaxation from week 15 despite lockdown",
+               "marginal increase", g_relax, g_relax > -2.0);
+  claims.summary();
+  return 0;
+}

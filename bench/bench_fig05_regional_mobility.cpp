@@ -1,0 +1,82 @@
+// Figure 5: regional mobility — gyration (5a) and entropy (5b) per region,
+// compared to the NATIONAL average during week 9.
+//
+// Paper shape: London (Inner and Outer) sits ~20% below the national
+// gyration baseline but ~20% above the national entropy baseline (smaller
+// areas, more erratic visitation); every region drops sharply in weeks
+// 13-14; London and West Yorkshire relax in weeks 18-19 while Greater
+// Manchester and the West Midlands stay low.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace cellscope;
+
+namespace {
+constexpr std::array<geo::Region, 5> kRegions = {
+    geo::Region::kInnerLondon, geo::Region::kOuterLondon,
+    geo::Region::kGreaterManchester, geo::Region::kWestMidlands,
+    geo::Region::kWestYorkshire};
+}
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/false, "Figure 5: regional mobility vs national week 9");
+
+  const double g_base = data.gyration_baseline();
+  const double e_base = data.entropy_baseline();
+
+  std::vector<std::string> names;
+  std::vector<std::vector<WeekPoint>> gyration, entropy;
+  for (const auto region : kRegions) {
+    names.emplace_back(geo::region_name(region));
+    const auto g = static_cast<std::size_t>(region);
+    gyration.push_back(data.gyration_by_region.weekly_delta(g, g_base, 9, 19));
+    entropy.push_back(data.entropy_by_region.weekly_delta(g, e_base, 9, 19));
+  }
+  bench::print_week_table(std::cout,
+                          "Fig 5a: gyration, % vs national week-9 average",
+                          names, gyration);
+  bench::print_week_table(std::cout,
+                          "Fig 5b: entropy, % vs national week-9 average",
+                          names, entropy);
+
+  bench::ClaimChecker claims;
+  const auto pre = [&](const std::vector<WeekPoint>& s) {
+    return bench::mean_over_weeks(s, 9, 11);
+  };
+  const double london_g =
+      0.5 * (pre(gyration[0]) + pre(gyration[1]));
+  claims.check("London gyration reference below national average",
+               "~-20%", london_g, london_g < -5.0);
+  const double london_e = 0.5 * (pre(entropy[0]) + pre(entropy[1]));
+  claims.check("London entropy reference above national average", "~+20%",
+               london_e, london_e > 5.0);
+
+  for (std::size_t i = 0; i < kRegions.size(); ++i) {
+    const double trough = bench::min_over_weeks(gyration[i], 13, 14);
+    claims.check("sharp weeks-13/14 gyration drop in " + names[i],
+                 "steep decrease", trough, trough < -40.0);
+  }
+
+  // Regional relaxation: weeks 18-19 vs weeks 15-17.
+  const auto relax = [&](std::size_t i) {
+    return bench::mean_over_weeks(gyration[i], 18, 19) -
+           bench::mean_over_weeks(gyration[i], 15, 17);
+  };
+  const double relax_london = 0.5 * (relax(0) + relax(1));
+  const double relax_wyork = relax(4);
+  const double relax_gm = relax(2);
+  const double relax_wm = relax(3);
+  claims.check("mobility relaxes in London in weeks 18-19", "increase",
+               relax_london, relax_london > 2.0);
+  claims.check("mobility relaxes in West Yorkshire in weeks 18-19",
+               "increase", relax_wyork, relax_wyork > 2.0);
+  claims.check("Greater Manchester stays low in weeks 18-19",
+               "consistently low", relax_gm, relax_gm < relax_london);
+  claims.check("West Midlands stays low in weeks 18-19", "consistently low",
+               relax_wm, relax_wm < relax_london);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6: mobility per geodemographic cluster — gyration (6a) and
+// entropy (6b), compared to the national average in week 9.
+//
+// Paper shape: Rural Residents cover wider areas than the national average
+// pre-pandemic; dense urban clusters (Cosmopolitans, Ethnicity Central)
+// cover smaller areas but with higher entropy; every cluster transitions in
+// week 12 and drops steeply from week 13 (gyration down by more than 50%);
+// Ethnicity Central reduces gyration the most but entropy the least.
+#include <iostream>
+
+#include "bench_util.h"
+#include "geo/oac.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/false,
+      "Figure 6: geodemographic-cluster mobility vs national week 9");
+
+  const double g_base = data.gyration_baseline();
+  const double e_base = data.entropy_baseline();
+
+  std::vector<std::string> names;
+  std::vector<std::vector<WeekPoint>> gyration, entropy;
+  for (const auto cluster : geo::all_oac_clusters()) {
+    names.emplace_back(geo::oac_name(cluster));
+    const auto g = static_cast<std::size_t>(cluster);
+    gyration.push_back(data.gyration_by_cluster.weekly_delta(g, g_base, 9, 19));
+    entropy.push_back(data.entropy_by_cluster.weekly_delta(g, e_base, 9, 19));
+  }
+  bench::print_week_table(std::cout,
+                          "Fig 6a: gyration, % vs national week-9 average",
+                          names, gyration);
+  bench::print_week_table(std::cout,
+                          "Fig 6b: entropy, % vs national week-9 average",
+                          names, entropy);
+
+  const auto idx = [](geo::OacCluster c) { return static_cast<std::size_t>(c); };
+  const auto pre = [&](const std::vector<WeekPoint>& s) {
+    return bench::mean_over_weeks(s, 9, 11);
+  };
+
+  bench::ClaimChecker claims;
+  claims.check("Rural Residents gyration above the national average "
+               "pre-pandemic", "higher than nation",
+               pre(gyration[idx(geo::OacCluster::kRuralResidents)]),
+               pre(gyration[idx(geo::OacCluster::kRuralResidents)]) > 10.0);
+  claims.check("Cosmopolitans cover smaller areas pre-pandemic",
+               "below national gyration",
+               pre(gyration[idx(geo::OacCluster::kCosmopolitans)]),
+               pre(gyration[idx(geo::OacCluster::kCosmopolitans)]) < -5.0);
+  claims.check("Cosmopolitans entropy above national pre-pandemic",
+               "higher entropy",
+               pre(entropy[idx(geo::OacCluster::kCosmopolitans)]),
+               pre(entropy[idx(geo::OacCluster::kCosmopolitans)]) > 5.0);
+  claims.check("Ethnicity Central entropy above national pre-pandemic",
+               "higher entropy",
+               pre(entropy[idx(geo::OacCluster::kEthnicityCentral)]),
+               pre(entropy[idx(geo::OacCluster::kEthnicityCentral)]) > 5.0);
+
+  // All clusters: transition in week 12, steep drop from week 13
+  // (relative to the cluster's own pre-pandemic level).
+  for (const auto cluster : geo::all_oac_clusters()) {
+    const auto& g = gyration[idx(cluster)];
+    const double before = pre(g);
+    const double w12 = bench::week_value(g, 12);
+    const double w13 = bench::week_value(g, 13);
+    const double rel13 = (w13 - before) / (100.0 + before) * 100.0;
+    claims.check(std::string{geo::oac_name(cluster)} +
+                     ": transition in wk12, steep drop from wk13",
+                 "drop > 40% of own level", rel13,
+                 w12 < before - 3.0 && rel13 < -40.0);
+  }
+
+  // Ethnicity Central: largest gyration reduction, smallest entropy
+  // reduction (relative to its own baseline).
+  const auto own_drop = [&](const std::vector<WeekPoint>& s) {
+    const double before = pre(s);
+    const double during = bench::mean_over_weeks(s, 13, 16);
+    // Percentage-point drop normalized by the cluster's own pre level
+    // (all series share the national baseline).
+    return (during - before) / (100.0 + before) * 100.0;
+  };
+  const double eth_g_drop =
+      own_drop(gyration[idx(geo::OacCluster::kEthnicityCentral)]);
+  const double rural_g_drop =
+      own_drop(gyration[idx(geo::OacCluster::kRuralResidents)]);
+  const double eth_e_drop =
+      own_drop(entropy[idx(geo::OacCluster::kEthnicityCentral)]);
+  claims.check("Ethnicity Central cuts gyration more than Rural Residents",
+               "highest reduction of all groups", eth_g_drop,
+               eth_g_drop < rural_g_drop);
+  claims.check("...but cuts entropy less than it cuts gyration",
+               "smallest entropy reduction", eth_e_drop,
+               eth_e_drop > eth_g_drop);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Figure 7: mobility matrix of Inner London residents across counties.
+//
+// For each county (rows), the daily % change in the number of Inner London
+// residents present there vs the week-9 median. Paper shape: a sustained
+// ~-10% in the Inner London row from week 13 (temporary relocation); a trip
+// spike to coastal counties (East Sussex) on 21-22 March just before the
+// stay-at-home order; elevated presence in Hampshire during lockdown and a
+// further weekend uptick there by the end of April.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/false, "Figure 7: Inner London mobility matrix");
+  if (!data.london_matrix) {
+    std::cerr << "no Inner London in the geography?\n";
+    return 1;
+  }
+  std::cout << "tracked Inner London residents: "
+            << data.london_residents_tracked << "\n";
+
+  const auto rows = data.london_matrix->rows(/*baseline_week=*/9,
+                                             /*top_n=*/10);
+
+  // Weekly summary table (daily matrix is printed for weeks 12-13 below).
+  print_banner(std::cout, "Weekly mean of daily delta-% per county");
+  std::vector<std::string> headers{"county", "baseline"};
+  for (int w = 9; w <= 19; ++w) headers.push_back("wk" + std::to_string(w));
+  TextTable table{headers};
+  for (const auto& row : rows) {
+    table.row().cell(data.geography->county(row.county).name).cell(row.baseline, 0);
+    for (int w = 9; w <= 19; ++w) {
+      double sum = 0.0;
+      int n = 0;
+      for (const auto& p : row.delta_pct)
+        if (iso_week(p.day) == w) {
+          sum += p.value;
+          ++n;
+        }
+      table.cell(n ? sum / n : 0.0, 1);
+    }
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "Daily detail around the lockdown (weeks 12-13)");
+  TextTable daily({"day", "Inner London", "East Sussex", "Hampshire", "Kent"});
+  const auto row_of = [&](std::string_view name) -> const auto* {
+    for (const auto& row : rows)
+      if (data.geography->county(row.county).name == name) return &row;
+    return static_cast<const std::remove_reference_t<decltype(rows[0])>*>(nullptr);
+  };
+  const auto* il = row_of("Inner London");
+  const auto* es = row_of("East Sussex");
+  const auto* ha = row_of("Hampshire");
+  const auto* ke = row_of("Kent");
+  const auto day_value = [](const auto* row, SimDay d) {
+    if (!row) return 0.0;
+    for (const auto& p : row->delta_pct)
+      if (p.day == d) return p.value;
+    return 0.0;
+  };
+  for (SimDay d = week_start_day(12); d < week_start_day(14); ++d) {
+    daily.row()
+        .cell(describe_day(d))
+        .cell(day_value(il, d))
+        .cell(day_value(es, d))
+        .cell(day_value(ha, d))
+        .cell(day_value(ke, d));
+  }
+  daily.print(std::cout);
+
+  bench::ClaimChecker claims;
+  // Sustained Inner London decrease from week 13.
+  double il_lockdown = 0.0;
+  int n = 0;
+  if (il) {
+    for (const auto& p : il->delta_pct)
+      if (iso_week(p.day) >= 13) {
+        il_lockdown += p.value;
+        ++n;
+      }
+  }
+  il_lockdown = n ? il_lockdown / n : 0.0;
+  claims.check("sustained decrease of Inner London residents present in "
+               "Inner London from week 13",
+               "-10%", il_lockdown, il_lockdown < -5.0 && il_lockdown > -20.0);
+
+  // Pre-lockdown rush: 21-22 March spike in coastal counties.
+  const SimDay sat = timeline::kLockdownOrder - 2;
+  const SimDay sun = timeline::kLockdownOrder - 1;
+  const double es_rush =
+      std::max(day_value(es, sat), day_value(es, sun));
+  claims.check("trip spike from Inner London to East Sussex on 21-22 March",
+               "large variation just before the order", es_rush,
+               es_rush > 40.0);
+
+  // Hampshire hosts relocated Londoners during lockdown.
+  double ha_lockdown = 0.0;
+  n = 0;
+  if (ha) {
+    for (const auto& p : ha->delta_pct)
+      if (iso_week(p.day) >= 13 && iso_week(p.day) <= 17) {
+        ha_lockdown += p.value;
+        ++n;
+      }
+  }
+  ha_lockdown = n ? ha_lockdown / n : 0.0;
+  claims.check("more Inner London residents present in Hampshire during "
+               "lockdown (relocation)",
+               "increase", ha_lockdown, ha_lockdown > 10.0);
+
+  // Weekend-trip pattern to other counties disappears after week 12.
+  // Relocated residents sit in the receiving county all week, so the
+  // signature of day-trips is the weekend-minus-weekday differential: large
+  // before, gone under lockdown.
+  const auto mean_of = [&](const auto* row, int from_week, int to_week,
+                           bool weekends) {
+    if (!row) return 0.0;
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& p : row->delta_pct) {
+      const int w = iso_week(p.day);
+      if (w < from_week || w > to_week || is_weekend(p.day) != weekends)
+        continue;
+      sum += p.value;
+      ++count;
+    }
+    return count ? sum / count : 0.0;
+  };
+  const double ke_diff_before =
+      mean_of(ke, 9, 11, true) - mean_of(ke, 9, 11, false);
+  const double ke_diff_during =
+      mean_of(ke, 13, 17, true) - mean_of(ke, 13, 17, false);
+  claims.check("weekend day-trip pattern to Kent disappears under lockdown",
+               "pattern disappears", ke_diff_during - ke_diff_before,
+               ke_diff_during < 0.5 * ke_diff_before &&
+                   ke_diff_before > 5.0);
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 8: MNO performance characterization, all data traffic (QCI 1..8).
+//
+// Six panels — downlink data volume, uplink data volume, downlink active
+// users, user downlink throughput, cell resource utilization (TTI), total
+// connected users — each as weekly medians of the per-cell daily median,
+// delta-% vs week 9, for "UK - all regions" plus the five high-density
+// counties of Section 4.3.
+//
+// Paper shape (UK line): DL +8% in wk10 then down to -24% (wk17); UL within
+// a few % of baseline; active DL users down to -28.6% (wk19); user DL
+// throughput down at most ~10% (application-limited); radio load -15.1%
+// (wk16). Regional intensity: Inner London's DL drop (-41%) far exceeds
+// Outer London's (-15%); Inner London UL -22% in wk14 vs Outer London +17%.
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/true, "Figure 8: network performance (all bearers)");
+
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+
+  const auto panel = [&](telemetry::KpiMetric metric, const std::string& title) {
+    analysis::KpiGroupSeries series{data.kpis, grouping, metric};
+    std::vector<std::vector<WeekPoint>> lines;
+    for (std::size_t g = 0; g < grouping.group_count(); ++g)
+      lines.push_back(series.weekly_delta(g, 9, 9, 19));
+    bench::print_week_table(std::cout, "Fig 8: " + title + " (delta-% vs wk 9)",
+                            grouping.names, lines);
+    return lines;
+  };
+
+  const auto dl = panel(telemetry::KpiMetric::kDlVolume, "Downlink Data Volume");
+  const auto ul = panel(telemetry::KpiMetric::kUlVolume, "Uplink Data Volume");
+  const auto users = panel(telemetry::KpiMetric::kActiveDlUsers,
+                           "Downlink Active Users");
+  const auto tput = panel(telemetry::KpiMetric::kUserDlThroughput,
+                          "User Downlink Throughput");
+  const auto load = panel(telemetry::KpiMetric::kTtiUtilization,
+                          "Cell Resource Utilization");
+  const auto connected = panel(telemetry::KpiMetric::kConnectedUsers,
+                               "Total Connected Users");
+
+  // Group indices: 0 = UK, then Outer London, Inner London, G. Manchester,
+  // West Midlands, West Yorkshire (see group_by_region).
+  constexpr std::size_t kUk = 0, kOuter = 1, kInner = 2;
+
+  bench::ClaimChecker claims;
+  claims.check("UK DL volume increase in week 10", "+8%",
+               bench::week_value(dl[kUk], 10),
+               bench::week_value(dl[kUk], 10) > 3.0);
+  const double dl_trough = bench::min_over_weeks(dl[kUk], 13, 19);
+  claims.check("UK DL volume trough during lockdown", "-24% (wk 17)",
+               dl_trough, dl_trough < -15.0 && dl_trough > -40.0);
+  const double ul_lockdown = bench::mean_over_weeks(ul[kUk], 13, 19);
+  claims.check("UK UL volume roughly stable", "-7%..+1.5%", ul_lockdown,
+               ul_lockdown > -12.0 && ul_lockdown < 10.0);
+  const double users_trough = bench::min_over_weeks(users[kUk], 13, 19);
+  claims.check("UK active DL users per cell drop", "-28.6% (wk 19)",
+               users_trough, users_trough < -15.0 && users_trough > -45.0);
+  const double tput_trough = bench::min_over_weeks(tput[kUk], 9, 19);
+  claims.check("user DL throughput drops at most ~10% (application-limited)",
+               "-10%", tput_trough, tput_trough < -4.0 && tput_trough > -18.0);
+  const double load_trough = bench::min_over_weeks(load[kUk], 13, 19);
+  claims.check("radio load (TTI utilization) decrease", "-15.1% (wk 16)",
+               load_trough, load_trough < -8.0 && load_trough > -30.0);
+
+  // Regional intensity.
+  const double inner_dl = bench::min_over_weeks(dl[kInner], 13, 19);
+  const double outer_dl = bench::min_over_weeks(dl[kOuter], 13, 19);
+  claims.check("Inner London DL drop far exceeds the national one", "-41%",
+               inner_dl, inner_dl < dl_trough - 5.0);
+  claims.check("Outer London shows the smallest DL decrease", "-15%",
+               outer_dl, outer_dl > inner_dl + 10.0);
+  const double inner_ul = bench::week_value(ul[kInner], 14);
+  const double outer_ul = bench::week_value(ul[kOuter], 14);
+  claims.check("Inner London UL falls in week 14 while Outer London rises",
+               "-22% vs +17%", inner_ul - outer_ul,
+               inner_ul < outer_ul - 10.0);
+  const double inner_users = bench::min_over_weeks(users[kInner], 13, 19);
+  claims.check("Inner London active-user decrease is the deepest", "-40% wk15",
+               inner_users, inner_users < users_trough - 5.0);
+  (void)connected;
+  claims.summary();
+  return 0;
+}

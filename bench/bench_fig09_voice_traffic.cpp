@@ -1,0 +1,77 @@
+// Figure 9: 4G conversational voice (QCI 1) in the UK.
+//
+// Weekly medians of the per-cell daily medians, delta-% vs week 9, for:
+// voice traffic volume, simultaneous voice users, uplink packet loss and
+// downlink packet loss.
+//
+// Paper shape: voice volume spikes ~+140% around week 12 ("seven years of
+// growth in a few days") with a matching spike in simultaneous users; the
+// DL packet loss more than doubles in weeks 10-12 because the surge
+// exceeded the inter-MNO interconnect capacity, then falls below normal
+// once operators expand it; UL loss (radio-limited) decreases throughout.
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "bench_util.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/true, "Figure 9: 4G voice traffic (QCI 1)");
+
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+  constexpr std::size_t kUk = 0;
+
+  const auto line = [&](telemetry::KpiMetric metric) {
+    return analysis::KpiGroupSeries{data.kpis, grouping, metric}.weekly_delta(
+        kUk, 9, 9, 19);
+  };
+  const auto volume = line(telemetry::KpiMetric::kVoiceVolume);
+  const auto simultaneous = line(telemetry::KpiMetric::kSimultaneousVoiceUsers);
+  const auto ul_loss = line(telemetry::KpiMetric::kVoiceUlLoss);
+  const auto dl_loss = line(telemetry::KpiMetric::kVoiceDlLoss);
+
+  bench::print_week_table(
+      std::cout, "Voice KPIs, UK (delta-% vs wk 9)",
+      {"Traffic Volume", "Simultaneous Users", "UL Packet Loss",
+       "DL Packet Loss"},
+      {volume, simultaneous, ul_loss, dl_loss});
+
+  print_banner(std::cout, "Interconnect diagnostics (busy hour per day)");
+  TextTable trunks({"day", "offered offnet min", "trunk loss %"});
+  for (SimDay d = week_start_day(9); d <= data.offnet_busy_hour_minutes.last_day();
+       d += 7) {
+    trunks.row()
+        .cell(describe_day(d))
+        .cell(data.offnet_busy_hour_minutes.value(d), 0)
+        .cell(data.interconnect_busy_hour_loss_pct.value(d), 3);
+  }
+  trunks.print(std::cout);
+
+  bench::ClaimChecker claims;
+  const double spike = bench::week_value(volume, 12);
+  claims.check("voice volume spike in week 12", "+140%", spike,
+               spike > 90.0 && spike < 220.0);
+  claims.check("voice volume stays elevated through lockdown", "> +50%",
+               bench::mean_over_weeks(volume, 13, 19),
+               bench::mean_over_weeks(volume, 13, 19) > 50.0);
+  const double users_spike = bench::week_value(simultaneous, 12);
+  claims.check("simultaneous voice users spike with the volume", "spike",
+               users_spike, users_spike > 50.0);
+
+  double dl_peak = 0.0;
+  for (int w = 10; w <= 12; ++w)
+    dl_peak = std::max(dl_peak, bench::week_value(dl_loss, w));
+  claims.check("DL voice packet loss more than doubles in weeks 10-12",
+               ">+100%", dl_peak, dl_peak > 100.0);
+  const double dl_after = bench::mean_over_weeks(dl_loss, 14, 19);
+  claims.check("DL loss reverts below normal after the capacity expansion",
+               "below week-9 values", dl_after, dl_after < 0.0);
+  const double ul_during = bench::mean_over_weeks(ul_loss, 13, 19);
+  claims.check("UL voice packet loss decreases during the pandemic",
+               "decrease", ul_during, ul_during < 0.0);
+  claims.summary();
+  return 0;
+}

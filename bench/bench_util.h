@@ -1,0 +1,132 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench_figXX binary regenerates one table/figure of the paper from a
+// fresh simulation of the default scenario and prints (a) the figure's rows
+// and (b) "paper vs measured" claim lines that EXPERIMENTS.md tracks.
+// Scale can be overridden without recompiling via environment variables:
+//   CELLSCOPE_BENCH_USERS    subscriber count (default: scenario default)
+//   CELLSCOPE_BENCH_SEED     scenario seed    (default 42)
+//   CELLSCOPE_BENCH_THREADS  simulator worker threads (default 1 = serial)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/timeseries.h"
+#include "sim/simulator.h"
+
+namespace cellscope::bench {
+
+inline sim::ScenarioConfig figure_scenario(bool with_kpis) {
+  sim::ScenarioConfig config = sim::default_scenario();
+  if (const char* users = std::getenv("CELLSCOPE_BENCH_USERS"))
+    config.num_users = static_cast<std::uint32_t>(std::strtoul(users, nullptr, 10));
+  if (const char* seed = std::getenv("CELLSCOPE_BENCH_SEED"))
+    config.seed = std::strtoull(seed, nullptr, 10);
+  if (const char* threads = std::getenv("CELLSCOPE_BENCH_THREADS"))
+    config.worker_threads = std::atoi(threads);
+  config.collect_kpis = with_kpis;
+  config.collect_signaling = with_kpis;
+  return config;
+}
+
+inline sim::Dataset run_figure_scenario(bool with_kpis,
+                                        const std::string& banner) {
+  const auto config = figure_scenario(with_kpis);
+  std::cout << banner << "\n(simulating " << config.num_users
+            << " subscribers, seed " << config.seed << ", weeks "
+            << config.first_week << "-" << config.last_week
+            << (config.worker_threads > 1
+                    ? ", " + std::to_string(config.worker_threads) + " threads"
+                    : std::string{})
+            << ")\n";
+  return sim::run_scenario(config);
+}
+
+// Renders several weekly series as one table: a week column plus one column
+// per named series. All series must cover the same weeks.
+inline void print_week_table(std::ostream& os, const std::string& title,
+                             const std::vector<std::string>& names,
+                             const std::vector<std::vector<WeekPoint>>& series,
+                             int precision = 1) {
+  print_banner(os, title);
+  std::vector<std::string> headers{"week"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  TextTable table{headers};
+  if (series.empty()) return;
+  for (std::size_t i = 0; i < series.front().size(); ++i) {
+    table.row().cell(series.front()[i].week);
+    for (const auto& s : series)
+      if (i < s.size()) table.cell(s[i].value, precision);
+  }
+  table.print(os);
+}
+
+// The weekly value for one week from a series (0 when absent).
+inline double week_value(const std::vector<WeekPoint>& series, int week) {
+  for (const auto& p : series)
+    if (p.week == week) return p.value;
+  return 0.0;
+}
+
+// Minimum value across a week range.
+inline double min_over_weeks(const std::vector<WeekPoint>& series,
+                             int from_week, int to_week) {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& p : series) {
+    if (p.week < from_week || p.week > to_week) continue;
+    if (!any || p.value < best) best = p.value;
+    any = true;
+  }
+  return best;
+}
+
+// Mean value across a week range.
+inline double mean_over_weeks(const std::vector<WeekPoint>& series,
+                              int from_week, int to_week) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& p : series) {
+    if (p.week < from_week || p.week > to_week) continue;
+    sum += p.value;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+inline std::string pct(double value, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, value);
+  return buf;
+}
+
+// Tracks overall claim health so the binary's exit code reflects shape
+// fidelity (0 even on mismatch — benches report, tests enforce).
+class ClaimChecker {
+ public:
+  void check(const std::string& claim, const std::string& paper,
+             double measured, bool ok) {
+    print_claim(std::cout, claim, paper, pct(measured), ok);
+    if (!ok) ++failures_;
+  }
+  void check_text(const std::string& claim, const std::string& paper,
+                  const std::string& measured, bool ok) {
+    print_claim(std::cout, claim, paper, measured, ok);
+    if (!ok) ++failures_;
+  }
+  [[nodiscard]] int failures() const { return failures_; }
+  void summary() const {
+    std::cout << (failures_ == 0 ? "\nAll shape checks passed.\n"
+                                 : "\nWARNING: " + std::to_string(failures_) +
+                                       " shape check(s) off target.\n");
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace cellscope::bench

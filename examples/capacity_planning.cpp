@@ -1,0 +1,141 @@
+// capacity_planning: use the voice interconnect model as a dimensioning
+// tool — the exercise the O2 UK operations team had to do live in March
+// 2020 (Section 4.2). We extract the simulated off-net voice offered load
+// of the pandemic weeks and sweep trunk headroom and expansion lead time,
+// asking: what dimensioning would have kept DL voice loss inside an SLA
+// throughout the surge, and what does over-provisioning cost?
+//
+//   ./build/examples/capacity_planning [num_users] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "traffic/interconnect.h"
+
+using namespace cellscope;
+
+namespace {
+constexpr double kSlaLossPct = 0.5;  // max acceptable trunk loss (percent)
+}
+
+int main(int argc, char** argv) {
+  sim::ScenarioConfig config = sim::default_scenario();
+  config.collect_signaling = false;  // only traffic needed here
+  if (argc > 1) config.num_users = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::cout << "capacity_planning: dimensioning the inter-MNO voice trunks\n"
+            << "(simulating " << config.num_users << " subscribers...)\n";
+  const sim::Dataset data = sim::run_scenario(config);
+
+  // The simulated daily busy-hour off-net minutes are the offered load a
+  // dimensioning exercise works from.
+  const auto& offered = data.offnet_busy_hour_minutes;
+  double week9_busy = 0.0;
+  for (int i = 0; i < 7; ++i)
+    week9_busy = std::max(week9_busy, offered.value(week_start_day(9) + i));
+  std::cout << "\nweek-9 busy-hour off-net load: " << week9_busy
+            << " minutes/hour\n";
+
+  print_banner(std::cout, "Offered busy-hour load per week (minutes)");
+  TextTable offered_table({"week", "peak offered", "vs wk9"});
+  for (int w = 9; w <= 19; ++w) {
+    double peak = 0.0;
+    for (int i = 0; i < 7; ++i)
+      peak = std::max(peak, offered.value(week_start_day(w) + i));
+    offered_table.row().cell(w).cell(peak, 0).cell(
+        stats::delta_percent(peak, week9_busy), 1);
+  }
+  offered_table.print(std::cout);
+
+  // ---- Sweep: headroom x expansion lead time. For each design, replay the
+  // offered series through a trunk group and record the worst loss and the
+  // number of SLA-violation days.
+  print_banner(std::cout,
+               "Design sweep: SLA-violation days (loss > 0.5%) per design");
+  const std::vector<double> headrooms = {0.05, 0.10, 0.20, 0.40, 0.80, 1.50};
+  // Days after the WFH advice until doubled capacity is in service
+  // (999 = never expanded).
+  const std::vector<int> lead_times = {3, 7, 14, 999};
+
+  std::vector<std::string> headers{"headroom"};
+  for (const int lead : lead_times)
+    headers.push_back(lead == 999 ? "no expansion"
+                                  : "expand +" + std::to_string(lead) + "d");
+  TextTable sweep{headers};
+
+  struct Design {
+    double headroom;
+    int lead;
+    double worst_loss;
+    int sla_violation_days;
+  };
+  std::vector<Design> designs;
+
+  for (const double headroom : headrooms) {
+    sweep.row().cell(headroom, 2);
+    for (const int lead : lead_times) {
+      traffic::InterconnectParams params;
+      params.baseline_capacity = week9_busy * (1.0 + headroom);
+      params.upgrade_factor = 2.6;
+      params.upgrade_day = lead == 999
+                               ? SimDay{100000}
+                               : timeline::kWorkFromHomeAdvice + lead;
+      traffic::VoiceInterconnect trunk{params};
+
+      double worst = 0.0;
+      int violations = 0;
+      for (SimDay d = week_start_day(10); d <= data.config.last_day(); ++d) {
+        const double loss = trunk.dl_loss_pct(d, offered.value(d));
+        worst = std::max(worst, loss);
+        if (loss > kSlaLossPct) ++violations;
+      }
+      sweep.cell(static_cast<long long>(violations));
+      designs.push_back({headroom, lead, worst, violations});
+    }
+  }
+  sweep.print(std::cout);
+
+  // ---- Recommendation: cheapest design meeting the SLA.
+  print_banner(std::cout, "Recommendation");
+  const Design* best = nullptr;
+  for (const auto& design : designs) {
+    if (design.sla_violation_days > 0) continue;
+    // Cost proxy: installed capacity-days. Prefer small headroom, late
+    // expansion.
+    if (best == nullptr || design.headroom < best->headroom ||
+        (design.headroom == best->headroom && design.lead > best->lead))
+      best = &design;
+  }
+  if (best == nullptr) {
+    std::cout << "  no swept design avoids SLA violations entirely: the\n"
+                 "  surge begins in week 10, before any advice-triggered\n"
+                 "  expansion can land - only pre-provisioned headroom "
+                 "helps.\n";
+    // Fall back to the design minimizing violation days.
+    for (const auto& design : designs)
+      if (best == nullptr ||
+          design.sla_violation_days < best->sla_violation_days)
+        best = &design;
+    std::cout << "  least-bad design: " << best->headroom * 100
+              << "% headroom, expansion "
+              << (best->lead == 999 ? std::string("never")
+                                    : "+" + std::to_string(best->lead) + "d")
+              << " -> " << best->sla_violation_days << " violation days.\n";
+  } else {
+    std::cout << "  cheapest SLA-compliant design: " << best->headroom * 100
+              << "% headroom with expansion "
+              << (best->lead == 999 ? std::string("never")
+                                    : "+" + std::to_string(best->lead) +
+                                          " days after WFH advice")
+              << " (worst loss " << best->worst_loss << "%).\n";
+  }
+  std::cout
+      << "  The operator's actual posture (~8% headroom, expansion live\n"
+         "  with week 13) reproduces the paper's weeks-10..12 loss episode:\n"
+         "  dimensioning for a 7-year voice surge in advance is what the\n"
+         "  paper calls 'seven years of growth... in the space of a few "
+         "days'.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// network_dashboard: an operations view over the measurement feeds — what a
+// NOC engineer would watch during the pandemic weeks. Exercises the parts
+// of the public API the figure benches do not: the signaling probe
+// counters, the daily topology snapshot, per-cell KPI distribution
+// summaries and the busiest-cell ranking.
+//
+//   ./build/examples/network_dashboard [num_users] [seed]
+#include <algorithm>
+#include <unordered_map>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+
+using namespace cellscope;
+
+int main(int argc, char** argv) {
+  sim::ScenarioConfig config = sim::default_scenario();
+  if (argc > 1) config.num_users = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::cout << "network_dashboard: operations view, weeks 9-19 of 2020\n"
+            << "(simulating " << config.num_users << " subscribers...)\n";
+  const sim::Dataset data = sim::run_scenario(config);
+
+  // ---------------------------------------------------- signaling counters
+  print_banner(std::cout, "Control-plane load (General Signaling Dataset)");
+  TextTable signaling({"week", "events/day", "attach fail %", "handovers/day",
+                       "bearer setups/day"});
+  for (int w = 9; w <= 19; ++w) {
+    double events = 0.0, handovers = 0.0, bearers = 0.0;
+    double attach_total = 0.0, attach_failed = 0.0;
+    int days = 0;
+    for (int i = 0; i < 7; ++i) {
+      const auto* counts = data.signaling.day(week_start_day(w) + i);
+      if (counts == nullptr) continue;
+      ++days;
+      events += static_cast<double>(counts->total_events());
+      handovers += static_cast<double>(
+          counts->total[static_cast<int>(
+              traffic::SignalingEventType::kHandover)]);
+      bearers += static_cast<double>(
+          counts->total[static_cast<int>(
+              traffic::SignalingEventType::kDedicatedBearerSetup)]);
+      attach_total += static_cast<double>(
+          counts->total[static_cast<int>(traffic::SignalingEventType::kAttach)]);
+      attach_failed += static_cast<double>(
+          counts->failures[static_cast<int>(
+              traffic::SignalingEventType::kAttach)]);
+    }
+    if (days == 0) continue;
+    signaling.row()
+        .cell(w)
+        .cell(events / days, 0)
+        .cell(attach_total > 0 ? 100.0 * attach_failed / attach_total : 0.0, 2)
+        .cell(handovers / days, 0)
+        .cell(bearers / days, 0);
+  }
+  signaling.print(std::cout);
+  std::cout << "  (handovers collapse with mobility; QCI-1 bearer setups\n"
+               "   surge with the voice wave)\n";
+
+  // ------------------------------------------------------- topology health
+  print_banner(std::cout, "RAN health (Radio Network Topology feed)");
+  int total_outage_site_days = 0;
+  int snapshot_days = 0;
+  for (SimDay d = week_start_day(9); d <= data.config.last_day(); ++d) {
+    ++snapshot_days;
+    for (const auto& row : data.topology->snapshot(d))
+      total_outage_site_days += !row.active;
+  }
+  std::cout << "  sites: " << data.topology->sites().size()
+            << ", 4G cells: " << data.topology->lte_cells().size() << "\n"
+            << "  site-down days over the window: " << total_outage_site_days
+            << " (" << snapshot_days << " daily snapshots)\n";
+
+  // -------------------------------------------- per-cell KPI distributions
+  // Section 3.2/4.1 note that distributions stay tight around the median;
+  // summarize the per-cell DL volume distribution for two contrasting weeks.
+  print_banner(std::cout, "Per-cell daily DL volume distribution (MB)");
+  TextTable distribution(
+      {"week", "p10", "p25", "median", "p75", "p90", "mean"});
+  for (const int w : {9, 12, 15, 19}) {
+    stats::SampleBuffer values;
+    for (const auto& record : data.kpis.records())
+      if (iso_week(record.day) == w) values.add(record.dl_volume_mb);
+    const auto summary = values.summarize();
+    distribution.row()
+        .cell(w)
+        .cell(summary.p10, 1)
+        .cell(summary.p25, 1)
+        .cell(summary.median, 1)
+        .cell(summary.p75, 1)
+        .cell(summary.p90, 1)
+        .cell(summary.mean, 1);
+  }
+  distribution.print(std::cout);
+
+  // ------------------------------------------------------ busiest cells
+  print_banner(std::cout, "Busiest cells, week 9 vs week 15 (daily median DL)");
+  const auto busiest = [&](int week) {
+    // Average each cell's daily-median DL over the week, then rank.
+    std::unordered_map<std::uint32_t, stats::Running> per_cell;
+    for (const auto& record : data.kpis.records())
+      if (iso_week(record.day) == week)
+        per_cell[record.cell.value()].add(record.dl_volume_mb);
+    std::vector<std::pair<double, std::uint32_t>> ranked;
+    ranked.reserve(per_cell.size());
+    for (const auto& [cell, acc] : per_cell)
+      ranked.emplace_back(acc.mean(), cell);
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    return ranked;
+  };
+  const auto before = busiest(9);
+  const auto during = busiest(15);
+  TextTable top({"rank", "wk9 cell (district)", "wk9 MB", "wk15 cell (district)",
+                 "wk15 MB"});
+  const auto describe = [&](std::uint32_t cell_value) {
+    const auto& cell = data.topology->cell(CellId{cell_value});
+    const auto& site = data.topology->site(cell.site);
+    return data.geography->district(site.district).name;
+  };
+  for (int r = 0; r < 5 && r < static_cast<int>(before.size()); ++r) {
+    top.row()
+        .cell(r + 1)
+        .cell(describe(before[r].second))
+        .cell(before[r].first, 0)
+        .cell(describe(during[r].second))
+        .cell(during[r].first, 0);
+  }
+  top.print(std::cout);
+  std::cout << "  (pre-pandemic hotspots sit in commercial cores; lockdown\n"
+               "   hotspots shift into residential districts — Section 5.1's\n"
+               "   'hot spots moving within London')\n";
+  return 0;
+}

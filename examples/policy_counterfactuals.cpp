@@ -1,0 +1,147 @@
+// policy_counterfactuals: run the pandemic under alternative intervention
+// timelines and compare what the *network* would have seen. The paper
+// measures one history; the calibrated simulator lets us ask the questions
+// the measurement cannot:
+//   - what if the UK had never ordered the lockdown (voluntary only)?
+//   - what if the order had come one week earlier?
+//   - what if the weeks-18/19 regional relaxation had not happened?
+//
+//   ./build/examples/policy_counterfactuals [num_users] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+
+using namespace cellscope;
+
+namespace {
+
+struct Outcome {
+  std::string name;
+  double gyration_trough_pct = 0.0;   // weeks 13-16 vs week 9
+  double entropy_trough_pct = 0.0;
+  double dl_trough_pct = 0.0;         // UK median per cell, weeks 13-19
+  double london_relax_pp = 0.0;       // wks 18-19 minus wks 15-17 gyration
+  double inner_london_presence = 0.0; // residents present, wks 13+ vs wk 9
+};
+
+Outcome evaluate(const std::string& name, sim::ScenarioConfig config) {
+  std::cout << "  running '" << name << "'...\n";
+  const sim::Dataset data = sim::run_scenario(config);
+  Outcome outcome;
+  outcome.name = name;
+
+  const double g_base = data.gyration_baseline();
+  const double e_base = data.entropy_baseline();
+  double g_trough = 0.0, e_trough = 0.0;
+  for (int w = 13; w <= 16; ++w) {
+    g_trough = std::min(g_trough,
+                        stats::delta_percent(
+                            data.gyration_national.week_baseline(0, w), g_base));
+    e_trough = std::min(e_trough,
+                        stats::delta_percent(
+                            data.entropy_national.week_baseline(0, w), e_base));
+  }
+  outcome.gyration_trough_pct = g_trough;
+  outcome.entropy_trough_pct = e_trough;
+
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+  analysis::KpiGroupSeries dl{data.kpis, grouping,
+                              telemetry::KpiMetric::kDlVolume};
+  double dl_trough = 0.0;
+  for (const auto& point : dl.weekly_delta(0, 9, 13, 19))
+    dl_trough = std::min(dl_trough, point.value);
+  outcome.dl_trough_pct = dl_trough;
+
+  const auto london = static_cast<std::size_t>(geo::Region::kInnerLondon);
+  const auto mean_weeks = [&](int from, int to) {
+    double sum = 0.0;
+    int n = 0;
+    for (int w = from; w <= to; ++w) {
+      sum += stats::delta_percent(
+          data.gyration_by_region.week_baseline(london, w), g_base);
+      ++n;
+    }
+    return sum / n;
+  };
+  outcome.london_relax_pp = mean_weeks(18, 19) - mean_weeks(15, 17);
+
+  if (data.london_matrix) {
+    const auto inner = *data.geography->county_by_name("Inner London");
+    double wk9 = 0.0;
+    for (int i = 0; i < 7; ++i)
+      wk9 += data.london_matrix->presence(inner, week_start_day(9) + i) / 7.0;
+    double lockdown = 0.0;
+    int days = 0;
+    for (SimDay d = week_start_day(13); d <= data.config.last_day(); ++d) {
+      lockdown += data.london_matrix->presence(inner, d);
+      ++days;
+    }
+    outcome.inner_london_presence =
+        stats::delta_percent(lockdown / std::max(1, days), wk9);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ScenarioConfig base = sim::default_scenario();
+  base.collect_signaling = false;
+  if (argc > 1) base.num_users = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) base.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::cout << "policy_counterfactuals: " << base.num_users
+            << " subscribers, seed " << base.seed << "\n";
+
+  std::vector<Outcome> outcomes;
+  outcomes.push_back(evaluate("actual timeline", base));
+
+  {
+    auto config = base;
+    config.policy.lockdown_enabled = false;
+    outcomes.push_back(evaluate("no lockdown (voluntary only)", config));
+  }
+  {
+    auto config = base;
+    config.policy.advice_day = timeline::kWorkFromHomeAdvice - 7;
+    config.policy.closure_day = timeline::kVenueClosures - 7;
+    config.policy.lockdown_day = timeline::kLockdownOrder - 7;
+    outcomes.push_back(evaluate("one week earlier", config));
+  }
+  {
+    auto config = base;
+    config.policy.regional_relaxation = false;
+    outcomes.push_back(evaluate("no regional relaxation", config));
+  }
+
+  print_banner(std::cout, "Counterfactual comparison");
+  TextTable table({"scenario", "gyration trough %", "entropy trough %",
+                   "UK DL trough %", "London relax (pp)",
+                   "InnerLdn presence %"});
+  for (const auto& o : outcomes) {
+    table.row()
+        .cell(o.name)
+        .cell(o.gyration_trough_pct)
+        .cell(o.entropy_trough_pct)
+        .cell(o.dl_trough_pct)
+        .cell(o.london_relax_pp)
+        .cell(o.inner_london_presence);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading:\n"
+         "  * Without the order, mobility settles at the voluntary level\n"
+         "    (roughly the paper's week-12 plateau) and the cellular DL\n"
+         "    decline is far shallower - the lockdown, not the pandemic,\n"
+         "    moved the traffic.\n"
+         "  * Shifting every milestone a week earlier shifts the whole\n"
+         "    response a week earlier; depths barely change.\n"
+         "  * Disabling the regional relaxation removes the weeks-18/19\n"
+         "    London/West-Yorkshire divergence the paper highlights.\n";
+  return 0;
+}

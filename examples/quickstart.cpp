@@ -1,0 +1,101 @@
+// Quickstart: run a small scenario end to end and print the headline
+// numbers of the study — the lockdown's effect on mobility (entropy,
+// gyration), on data traffic (DL/UL volume, radio load) and on voice.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/network_metrics.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+
+using namespace cellscope;
+
+int main(int argc, char** argv) {
+  sim::ScenarioConfig config = sim::smoke_scenario();
+  config.seed = 7;
+  if (argc > 1) {
+    // Optional scale override, e.g. ./quickstart 20000
+    config = sim::default_scenario();
+    config.num_users = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  }
+
+  std::cout << "cellscope quickstart: simulating " << config.num_users
+            << " subscribers, ISO weeks " << config.first_week << "-"
+            << config.last_week << " of 2020...\n";
+  sim::Dataset data = sim::run_scenario(config);
+
+  std::cout << "eligible users (native smartphones): " << data.eligible_users
+            << "\nhomes detected in February: " << data.homes.size()
+            << "\nhome-vs-census fit: r^2 = " << data.home_validation.fit.r_squared
+            << ", slope = " << data.home_validation.fit.slope
+            << " (expected market share "
+            << data.home_validation.expected_market_share << ")\n";
+
+  // --- Mobility: weekly % change vs the week-9 national average. ---
+  print_banner(std::cout, "Mobility vs week 9 (national averages)");
+  TextTable mobility({"week", "gyration %", "entropy %"});
+  const auto gyration = data.gyration_national.weekly_delta(
+      0, data.gyration_baseline(), 9, config.last_week);
+  const auto entropy = data.entropy_national.weekly_delta(
+      0, data.entropy_baseline(), 9, config.last_week);
+  for (std::size_t i = 0; i < gyration.size(); ++i) {
+    mobility.row()
+        .cell(gyration[i].week)
+        .cell(gyration[i].value)
+        .cell(entropy[i].value);
+  }
+  mobility.print(std::cout);
+
+  // --- Network: UK-wide weekly KPI deltas. ---
+  print_banner(std::cout, "Network KPIs vs week 9 (UK, median per cell)");
+  const auto grouping = analysis::group_by_region(*data.geography,
+                                                  *data.topology);
+  TextTable kpis({"week", "DL vol %", "UL vol %", "radio load %",
+                  "DL users %", "user tput %", "voice vol %"});
+  const auto series_of = [&](telemetry::KpiMetric metric) {
+    return analysis::KpiGroupSeries{data.kpis, grouping, metric}.weekly_delta(
+        0, 9, 9, config.last_week);
+  };
+  const auto dl = series_of(telemetry::KpiMetric::kDlVolume);
+  const auto ul = series_of(telemetry::KpiMetric::kUlVolume);
+  const auto load = series_of(telemetry::KpiMetric::kTtiUtilization);
+  const auto users = series_of(telemetry::KpiMetric::kActiveDlUsers);
+  const auto tput = series_of(telemetry::KpiMetric::kUserDlThroughput);
+  const auto voice = series_of(telemetry::KpiMetric::kVoiceVolume);
+  for (std::size_t i = 0; i < dl.size(); ++i) {
+    kpis.row()
+        .cell(dl[i].week)
+        .cell(dl[i].value)
+        .cell(ul[i].value)
+        .cell(load[i].value)
+        .cell(users[i].value)
+        .cell(tput[i].value)
+        .cell(voice[i].value);
+  }
+  kpis.print(std::cout);
+
+  if (data.london_matrix) {
+    print_banner(std::cout, "Inner London presence (weekly mean of daily %)");
+    const auto rows = data.london_matrix->rows(9, 3);
+    for (const auto& row : rows) {
+      const auto& county = data.geography->county(row.county);
+      double sum = 0.0;
+      int n = 0;
+      for (const auto& p : row.delta_pct) {
+        if (iso_week(p.day) >= 13) {
+          sum += p.value;
+          ++n;
+        }
+      }
+      std::cout << "  " << county.name
+                << ": avg delta from week 13 on = " << (n ? sum / n : 0.0)
+                << "%\n";
+    }
+  }
+  std::cout << "\nDone. See bench/ for the full figure reproductions.\n";
+  return 0;
+}

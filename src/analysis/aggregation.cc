@@ -1,0 +1,34 @@
+#include "analysis/aggregation.h"
+
+namespace cellscope::analysis {
+
+GroupedDailySeries::GroupedDailySeries(std::size_t group_count,
+                                       SimDay first_day, SimDay last_day) {
+  series_.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g)
+    series_.emplace_back(first_day, last_day);
+}
+
+void GroupedDailySeries::add(std::size_t group, SimDay day, double value) {
+  series_.at(group).add(day, value);
+}
+
+std::vector<DayPoint> GroupedDailySeries::daily_delta(std::size_t group,
+                                                      double baseline) const {
+  return daily_delta_percent(series_.at(group), baseline);
+}
+
+std::vector<WeekPoint> GroupedDailySeries::weekly_delta(std::size_t group,
+                                                        double baseline,
+                                                        int from_week,
+                                                        int to_week) const {
+  return weekly_median_delta_percent(series_.at(group), baseline, from_week,
+                                     to_week);
+}
+
+double GroupedDailySeries::week_baseline(std::size_t group,
+                                         int iso_week) const {
+  return series_.at(group).week_mean(iso_week);
+}
+
+}  // namespace cellscope::analysis

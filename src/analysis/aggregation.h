@@ -1,0 +1,51 @@
+// Grouped aggregation of per-user mobility metrics.
+//
+// Every mobility figure reports, per day or week, the average metric value
+// over the users of some group — the whole country (Fig 3), a region
+// (Fig 5) or a geodemographic cluster (Fig 6) — expressed as the percentage
+// change against the (national or per-group) average in week 9.
+// GroupedDailySeries is the streaming accumulator for that: the simulator
+// adds each user-day metric to its group(s) as days complete, and the
+// figure builders read out daily/weekly delta series at the end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/simtime.h"
+#include "common/timeseries.h"
+
+namespace cellscope::analysis {
+
+class GroupedDailySeries {
+ public:
+  GroupedDailySeries() = default;
+  GroupedDailySeries(std::size_t group_count, SimDay first_day,
+                     SimDay last_day);
+
+  // Adds one sample to a group's day (value(day) averages the adds).
+  void add(std::size_t group, SimDay day, double value);
+
+  [[nodiscard]] std::size_t group_count() const { return series_.size(); }
+  [[nodiscard]] const DailySeries& group(std::size_t index) const {
+    return series_.at(index);
+  }
+
+  // Average-per-day % change vs `baseline` (Fig 3 / Fig 7 shape).
+  [[nodiscard]] std::vector<DayPoint> daily_delta(std::size_t group,
+                                                  double baseline) const;
+  // Weekly-median % change vs `baseline` (Figs 5, 6, 8..12 shape).
+  [[nodiscard]] std::vector<WeekPoint> weekly_delta(std::size_t group,
+                                                    double baseline,
+                                                    int from_week,
+                                                    int to_week) const;
+
+  // Mean of the group's daily averages over an ISO week — the reference
+  // value figures baseline against (typically week 9).
+  [[nodiscard]] double week_baseline(std::size_t group, int iso_week) const;
+
+ private:
+  std::vector<DailySeries> series_;
+};
+
+}  // namespace cellscope::analysis

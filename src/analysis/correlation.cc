@@ -1,0 +1,50 @@
+#include "analysis/correlation.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace cellscope::analysis {
+
+std::vector<ScatterPoint> entropy_cases_scatter(
+    const DailySeries& national_entropy, double baseline,
+    const mobility::EpidemicCurve& epidemic, SimDay from_day, SimDay to_day) {
+  std::vector<ScatterPoint> points;
+  for (SimDay d = std::max(from_day, national_entropy.first_day());
+       d <= std::min(to_day, national_entropy.last_day()); ++d) {
+    if (!national_entropy.has(d)) continue;
+    ScatterPoint point;
+    point.day = d;
+    point.cumulative_cases = epidemic.cumulative_cases(d);
+    point.entropy_delta_pct =
+        stats::delta_percent(national_entropy.value(d), baseline);
+    point.weekend = is_weekend(d);
+    points.push_back(point);
+  }
+  return points;
+}
+
+double scatter_correlation(std::span<const ScatterPoint> points) {
+  std::vector<double> x, y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& p : points) {
+    x.push_back(p.cumulative_cases);
+    y.push_back(p.entropy_delta_pct);
+  }
+  return stats::pearson(x, y);
+}
+
+double series_correlation(const DailySeries& a, const DailySeries& b) {
+  std::vector<double> x, y;
+  const SimDay from = std::max(a.first_day(), b.first_day());
+  const SimDay to = std::min(a.last_day(), b.last_day());
+  for (SimDay d = from; d <= to; ++d) {
+    if (!a.has(d) || !b.has(d)) continue;
+    x.push_back(a.value(d));
+    y.push_back(b.value(d));
+  }
+  return stats::pearson(x, y);
+}
+
+}  // namespace cellscope::analysis

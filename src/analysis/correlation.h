@@ -1,0 +1,42 @@
+// Correlation studies.
+//
+// Two figures hinge on correlations:
+//  * Fig 4 scatters the daily national entropy variation against the
+//    cumulative SARS-CoV-2 case count and finds *no* correlation — mobility
+//    responded to announcements, not to case numbers;
+//  * Section 4.4 correlates the total number of connected users with the
+//    downlink volume per geodemographic cluster (Cosmopolitans +0.973,
+//    Ethnicity Central +0.816, Rural +0.299, Suburbanites -0.466).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/simtime.h"
+#include "common/timeseries.h"
+#include "mobility/policy.h"
+
+namespace cellscope::analysis {
+
+struct ScatterPoint {
+  SimDay day = 0;
+  double cumulative_cases = 0.0;
+  double entropy_delta_pct = 0.0;
+  bool weekend = false;
+};
+
+// Builds the Fig 4 scatter from a national per-day entropy series, its
+// baseline and the epidemic curve, over [from_day, to_day].
+[[nodiscard]] std::vector<ScatterPoint> entropy_cases_scatter(
+    const DailySeries& national_entropy, double baseline,
+    const mobility::EpidemicCurve& epidemic, SimDay from_day, SimDay to_day);
+
+// Pearson correlation over the scatter (cases vs entropy delta).
+[[nodiscard]] double scatter_correlation(std::span<const ScatterPoint> points);
+
+// Pearson correlation between two daily series over their common days
+// (used for the Section 4.4 users-vs-volume cluster correlations).
+[[nodiscard]] double series_correlation(const DailySeries& a,
+                                        const DailySeries& b);
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,76 @@
+#include "analysis/distribution.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cellscope::analysis {
+
+DistributionSeries::DistributionSeries(SimDay first_day, SimDay last_day)
+    : first_day_(first_day), last_day_(last_day) {
+  if (last_day < first_day)
+    throw std::invalid_argument("DistributionSeries: bad day range");
+  const auto n = static_cast<std::size_t>(last_day - first_day + 1);
+  buffers_.resize(n);
+  summaries_.resize(n);
+  sealed_.assign(n, false);
+}
+
+std::size_t DistributionSeries::index(SimDay day) const {
+  assert(day >= first_day_ && day <= last_day_);
+  return static_cast<std::size_t>(day - first_day_);
+}
+
+void DistributionSeries::add(SimDay day, double value) {
+  const auto i = index(day);
+  if (sealed_[i])
+    throw std::logic_error("DistributionSeries: day already sealed");
+  buffers_[i].add(value);
+}
+
+void DistributionSeries::seal_day(SimDay day) {
+  const auto i = index(day);
+  if (sealed_[i]) return;
+  summaries_[i] = buffers_[i].summarize();
+  buffers_[i].clear();
+  buffers_[i] = stats::SampleBuffer{};  // release capacity
+  sealed_[i] = true;
+}
+
+bool DistributionSeries::has(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return false;
+  const auto i = index(day);
+  return sealed_[i] && summaries_[i].n > 0;
+}
+
+const stats::Summary& DistributionSeries::day_summary(SimDay day) const {
+  return summaries_.at(index(day));
+}
+
+double DistributionSeries::week_band(int iso_week, Band band) const {
+  double sum = 0.0;
+  int n = 0;
+  const SimDay start = week_start_day(iso_week);
+  for (SimDay d = start; d < start + kDaysPerWeek; ++d) {
+    if (!has(d)) continue;
+    const stats::Summary& s = day_summary(d);
+    switch (band) {
+      case Band::kP10: sum += s.p10; break;
+      case Band::kP25: sum += s.p25; break;
+      case Band::kMedian: sum += s.median; break;
+      case Band::kP75: sum += s.p75; break;
+      case Band::kP90: sum += s.p90; break;
+      case Band::kMean: sum += s.mean; break;
+    }
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double DistributionSeries::week_iqr_ratio(int iso_week) const {
+  const double median = week_band(iso_week, Band::kMedian);
+  if (median == 0.0) return 0.0;
+  return (week_band(iso_week, Band::kP75) - week_band(iso_week, Band::kP25)) /
+         median;
+}
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,69 @@
+#include "analysis/export.h"
+
+#include <ostream>
+
+namespace cellscope::analysis {
+
+void export_kpis_csv(std::ostream& os, const telemetry::KpiStore& store,
+                     const radio::RadioTopology& topology,
+                     const geo::UkGeography& geography) {
+  os << "day,date,cell,site,district,dl_mb,ul_mb,active_dl_users,"
+        "tti_utilization,user_dl_tput_mbps,connected_users,voice_mb,"
+        "voice_users,voice_dl_loss_pct,voice_ul_loss_pct\n";
+  for (const auto& r : store.records()) {
+    const auto& cell = topology.cell(r.cell);
+    const auto& site = topology.site(cell.site);
+    os << r.day << ',' << format_date(r.day) << ',' << r.cell.value() << ','
+       << site.id.value() << ',' << geography.district(site.district).name
+       << ',' << r.dl_volume_mb << ',' << r.ul_volume_mb << ','
+       << r.active_dl_users << ',' << r.tti_utilization << ','
+       << r.user_dl_throughput_mbps << ',' << r.connected_users << ','
+       << r.voice_volume_mb << ',' << r.simultaneous_voice_users << ','
+       << r.voice_dl_loss_pct << ',' << r.voice_ul_loss_pct << '\n';
+  }
+}
+
+void export_grouped_series_csv(std::ostream& os,
+                               const GroupedDailySeries& series,
+                               std::span<const std::string> group_names) {
+  os << "day,date,group,value,count\n";
+  for (std::size_t g = 0; g < series.group_count(); ++g) {
+    const auto& daily = series.group(g);
+    const std::string name =
+        g < group_names.size() ? group_names[g] : std::to_string(g);
+    for (SimDay d = daily.first_day(); d <= daily.last_day(); ++d) {
+      if (!daily.has(d)) continue;
+      os << d << ',' << format_date(d) << ',' << name << ',' << daily.value(d)
+         << ',' << daily.count(d) << '\n';
+    }
+  }
+}
+
+void export_mobility_matrix_csv(std::ostream& os,
+                                const MobilityMatrix& matrix,
+                                const geo::UkGeography& geography,
+                                int baseline_week, int top_n) {
+  os << "county,day,date,presence_delta_pct,baseline\n";
+  for (const auto& row : matrix.rows(baseline_week, top_n)) {
+    const auto& county = geography.county(row.county);
+    for (const auto& point : row.delta_pct) {
+      os << county.name << ',' << point.day << ',' << format_date(point.day)
+         << ',' << point.value << ',' << row.baseline << '\n';
+    }
+  }
+}
+
+void export_signaling_csv(std::ostream& os, const telemetry::SignalingProbe& probe) {
+  os << "day,date,event,total,failures\n";
+  for (const auto& day : probe.days()) {
+    for (int type = 0; type < traffic::kSignalingEventTypeCount; ++type) {
+      if (day.total[type] == 0) continue;
+      os << day.day << ',' << format_date(day.day) << ','
+         << traffic::signaling_event_name(
+                static_cast<traffic::SignalingEventType>(type))
+         << ',' << day.total[type] << ',' << day.failures[type] << '\n';
+    }
+  }
+}
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,43 @@
+// CSV export of the measurement feeds.
+//
+// Everything the benches print can also be dumped as CSV so the series can
+// be re-plotted or joined outside the repo (the same role the operator's
+// data-warehouse exports play for the paper's authors). Exporters write
+// through std::ostream so tests and callers can target files or buffers.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/aggregation.h"
+#include "analysis/mobility_matrix.h"
+#include "geo/uk_model.h"
+#include "radio/topology.h"
+#include "telemetry/kpi.h"
+#include "telemetry/probes.h"
+
+namespace cellscope::analysis {
+
+// Per-cell-day KPI rows:
+//   day,date,cell,site,district,dl_mb,ul_mb,active_dl_users,tti,...
+void export_kpis_csv(std::ostream& os, const telemetry::KpiStore& store,
+                     const radio::RadioTopology& topology,
+                     const geo::UkGeography& geography);
+
+// One grouped mobility series:
+//   day,date,group,value,count
+void export_grouped_series_csv(std::ostream& os,
+                               const GroupedDailySeries& series,
+                               std::span<const std::string> group_names);
+
+// Fig 7-style matrix rows:
+//   county,day,date,presence_delta_pct,baseline
+void export_mobility_matrix_csv(std::ostream& os,
+                                const MobilityMatrix& matrix,
+                                const geo::UkGeography& geography,
+                                int baseline_week, int top_n = 10);
+
+// Daily signaling counters:
+//   day,date,event,total,failures
+void export_signaling_csv(std::ostream& os, const telemetry::SignalingProbe& probe);
+
+}  // namespace cellscope::analysis

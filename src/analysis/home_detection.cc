@@ -1,0 +1,82 @@
+#include "analysis/home_detection.h"
+
+#include <algorithm>
+
+namespace cellscope::analysis {
+
+HomeDetector::HomeDetector(const HomeDetectionParams& params)
+    : params_(params) {}
+
+void HomeDetector::observe(const telemetry::UserDayObservation& observation) {
+  if (observation.day < params_.first_day ||
+      observation.day >= params_.end_day)
+    return;
+
+  bool any_night = false;
+  UserAccumulator* accumulator = nullptr;
+  for (const auto& stay : observation.stays) {
+    if (stay.night_hours <= 0.0f) continue;
+    if (accumulator == nullptr)
+      accumulator = &users_[observation.user.value()];
+    accumulator->site_night_hours[stay.site.value()] +=
+        static_cast<double>(stay.night_hours);
+    accumulator->site_geo.emplace(
+        stay.site.value(),
+        std::make_pair(stay.district.value(), stay.county.value()));
+    any_night = true;
+  }
+  if (any_night && accumulator->last_night_day != observation.day) {
+    ++accumulator->nights;
+    accumulator->last_night_day = observation.day;
+  }
+}
+
+std::vector<HomeRecord> HomeDetector::finalize() const {
+  std::vector<HomeRecord> records;
+  records.reserve(users_.size());
+  for (const auto& [user_value, acc] : users_) {
+    if (acc.nights < static_cast<std::uint32_t>(params_.min_nights)) continue;
+    // Winning tower: maximum accumulated night dwell.
+    const auto best = std::max_element(
+        acc.site_night_hours.begin(), acc.site_night_hours.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (best == acc.site_night_hours.end()) continue;
+    const auto geo = acc.site_geo.at(best->first);
+    HomeRecord record;
+    record.user = UserId{user_value};
+    record.home_site = SiteId{best->first};
+    record.home_district = PostcodeDistrictId{geo.first};
+    record.home_county = CountyId{geo.second};
+    record.night_hours = best->second;
+    record.nights_observed = static_cast<int>(acc.nights);
+    records.push_back(record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const HomeRecord& a, const HomeRecord& b) {
+              return a.user < b.user;
+            });
+  return records;
+}
+
+std::optional<HomeRecord> HomeDetector::home_of(UserId user) const {
+  const auto it = users_.find(user.value());
+  if (it == users_.end()) return std::nullopt;
+  const auto& acc = it->second;
+  if (acc.nights < static_cast<std::uint32_t>(params_.min_nights))
+    return std::nullopt;
+  const auto best = std::max_element(
+      acc.site_night_hours.begin(), acc.site_night_hours.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (best == acc.site_night_hours.end()) return std::nullopt;
+  const auto geo = acc.site_geo.at(best->first);
+  HomeRecord record;
+  record.user = user;
+  record.home_site = SiteId{best->first};
+  record.home_district = PostcodeDistrictId{geo.first};
+  record.home_county = CountyId{geo.second};
+  record.night_hours = best->second;
+  record.nights_observed = static_cast<int>(acc.nights);
+  return record;
+}
+
+}  // namespace cellscope::analysis

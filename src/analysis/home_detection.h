@@ -1,0 +1,71 @@
+// Home detection.
+//
+// Section 2.3: "we use the cell tower to which the user connects more time
+// during nighttime hours (12:00 PM through 8:00 AM) for at least 14 days
+// (not necessarily consecutive) during February 2020", yielding a home
+// postcode per user. HomeDetector is a streaming accumulator: feed it every
+// user-day observation from the calibration window, then finalize() to get
+// each user's home tower/district/county (or nothing, if the user failed
+// the night-count threshold — the paper resolves ~16M homes out of ~22M
+// users this way).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/simtime.h"
+#include "telemetry/observation.h"
+
+namespace cellscope::analysis {
+
+struct HomeDetectionParams {
+  // Nights with presence required inside the window (>= 14 in the paper).
+  int min_nights = 14;
+  // Calibration window [first_day, end_day) — February by default.
+  SimDay first_day = kFebruaryFirstDay;
+  SimDay end_day = kFebruaryEndDay;
+};
+
+struct HomeRecord {
+  UserId user;
+  SiteId home_site;
+  PostcodeDistrictId home_district;
+  CountyId home_county;
+  double night_hours = 0.0;  // dwell at the winning tower
+  int nights_observed = 0;
+};
+
+class HomeDetector {
+ public:
+  explicit HomeDetector(const HomeDetectionParams& params = {});
+
+  // Observations outside the window are ignored, so callers can feed the
+  // whole simulation stream.
+  void observe(const telemetry::UserDayObservation& observation);
+
+  // Users that satisfied the threshold, in UserId order.
+  [[nodiscard]] std::vector<HomeRecord> finalize() const;
+
+  // Convenience: per-user home lookup (nullopt = undetected).
+  [[nodiscard]] std::optional<HomeRecord> home_of(UserId user) const;
+
+  [[nodiscard]] const HomeDetectionParams& params() const { return params_; }
+
+ private:
+  struct UserAccumulator {
+    // Night dwell hours per candidate tower.
+    std::unordered_map<std::uint32_t, double> site_night_hours;
+    // Per-tower metadata (first observation wins; topology is stable).
+    std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+        site_geo;  // site -> (district, county)
+    std::uint32_t nights = 0;
+    SimDay last_night_day = -1;
+  };
+
+  HomeDetectionParams params_;
+  std::unordered_map<std::uint32_t, UserAccumulator> users_;
+};
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,136 @@
+#include "analysis/import.h"
+
+#include <charconv>
+#include <istream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/network_metrics.h"
+
+namespace cellscope::analysis {
+
+namespace {
+
+// Splits one CSV line (no quoting in our schema) into at most `max` fields.
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+double parse_double(std::string_view text, std::size_t line_number) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw std::runtime_error("kpis csv: bad number '" + std::string(text) +
+                             "' on line " + std::to_string(line_number));
+  return value;
+}
+
+long long parse_int(std::string_view text, std::size_t line_number) {
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw std::runtime_error("kpis csv: bad integer '" + std::string(text) +
+                             "' on line " + std::to_string(line_number));
+  return value;
+}
+
+}  // namespace
+
+KpiImportResult import_kpis_csv(std::istream& is) {
+  KpiImportResult result;
+  std::string line;
+  std::size_t line_number = 0;
+
+  if (!std::getline(is, line))
+    throw std::runtime_error("kpis csv: empty input");
+  ++line_number;
+  if (line.rfind("day,date,cell", 0) != 0)
+    throw std::runtime_error("kpis csv: unexpected header '" + line + "'");
+
+  std::vector<telemetry::CellDayRecord> day_buffer;
+  SimDay current_day = -1;
+  const auto flush = [&] {
+    if (!day_buffer.empty()) {
+      result.store.add_day(std::move(day_buffer));
+      day_buffer = {};
+    }
+  };
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 15)
+      throw std::runtime_error("kpis csv: expected 15 fields, got " +
+                               std::to_string(fields.size()) + " on line " +
+                               std::to_string(line_number));
+    telemetry::CellDayRecord record;
+    record.day = static_cast<SimDay>(parse_int(fields[0], line_number));
+    record.cell = CellId{
+        static_cast<std::uint32_t>(parse_int(fields[2], line_number))};
+    // fields[1] date, [3] site, [4] district: human columns, ignored.
+    record.dl_volume_mb = parse_double(fields[5], line_number);
+    record.ul_volume_mb = parse_double(fields[6], line_number);
+    record.active_dl_users = parse_double(fields[7], line_number);
+    record.tti_utilization = parse_double(fields[8], line_number);
+    record.user_dl_throughput_mbps = parse_double(fields[9], line_number);
+    record.connected_users = parse_double(fields[10], line_number);
+    record.voice_volume_mb = parse_double(fields[11], line_number);
+    record.simultaneous_voice_users = parse_double(fields[12], line_number);
+    record.voice_dl_loss_pct = parse_double(fields[13], line_number);
+    record.voice_ul_loss_pct = parse_double(fields[14], line_number);
+
+    if (record.day != current_day) {
+      if (record.day < current_day)
+        throw std::runtime_error("kpis csv: days out of order on line " +
+                                 std::to_string(line_number));
+      flush();
+      current_day = record.day;
+    }
+    result.cell_count =
+        std::max(result.cell_count,
+                 static_cast<std::size_t>(record.cell.value()) + 1);
+    ++result.rows;
+    day_buffer.push_back(record);
+  }
+  flush();
+  return result;
+}
+
+CellGrouping grouping_from_names(
+    const std::vector<std::string>& group_of_cell) {
+  CellGrouping grouping;
+  grouping.group_of.assign(group_of_cell.size(), CellGrouping::kUngrouped);
+  for (std::size_t cell = 0; cell < group_of_cell.size(); ++cell) {
+    const std::string& name = group_of_cell[cell];
+    if (name.empty()) continue;
+    std::int32_t group = CellGrouping::kUngrouped;
+    for (std::size_t g = 0; g < grouping.names.size(); ++g) {
+      if (grouping.names[g] == name) {
+        group = static_cast<std::int32_t>(g);
+        break;
+      }
+    }
+    if (group == CellGrouping::kUngrouped) {
+      group = static_cast<std::int32_t>(grouping.names.size());
+      grouping.names.push_back(name);
+    }
+    grouping.group_of[cell] = group;
+  }
+  return grouping;
+}
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,43 @@
+// CSV import of measurement feeds.
+//
+// The inverse of analysis/export.h: reconstructs a KpiStore (and the
+// grouped series) from the CSV schema the exporters write. This is what
+// makes the framework usable on *real* operator exports — any warehouse
+// dump with the same columns feeds the identical figure pipeline, no
+// simulator involved. Import is strict: malformed rows raise, because a
+// silent parse failure in a measurement pipeline is a corrupted figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/network_metrics.h"
+#include "telemetry/kpi.h"
+
+namespace cellscope::analysis {
+
+struct KpiImportResult {
+  telemetry::KpiStore store;
+  // Highest cell id seen + 1 (for sizing groupings built from the CSV).
+  std::size_t cell_count = 0;
+  std::size_t rows = 0;
+};
+
+// Parses the `export_kpis_csv` schema:
+//   day,date,cell,site,district,dl_mb,ul_mb,active_dl_users,
+//   tti_utilization,user_dl_tput_mbps,connected_users,voice_mb,
+//   voice_users,voice_dl_loss_pct,voice_ul_loss_pct
+// The `date`, `site` and `district` columns are carried for humans and
+// ignored here; rows must be grouped by day in ascending order (as the
+// exporter writes them). Throws std::runtime_error with the line number on
+// malformed input.
+[[nodiscard]] KpiImportResult import_kpis_csv(std::istream& is);
+
+// Builds a grouping for an imported store from a per-cell group column:
+// `group_of_cell[cell id] = group name`. Cells absent from the map are
+// ungrouped. Group indices are assigned in first-appearance order.
+[[nodiscard]] CellGrouping grouping_from_names(
+    const std::vector<std::string>& group_of_cell);
+
+}  // namespace cellscope::analysis

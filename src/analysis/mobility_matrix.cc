@@ -1,0 +1,106 @@
+#include "analysis/mobility_matrix.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace cellscope::analysis {
+
+MobilityMatrix::MobilityMatrix(const geo::UkGeography& geography,
+                               CountyId home_county, SimDay first_day,
+                               SimDay last_day)
+    : geography_(geography),
+      home_county_(home_county),
+      first_day_(first_day),
+      last_day_(last_day) {
+  const auto days = static_cast<std::size_t>(last_day - first_day + 1);
+  presence_.assign(geography.counties().size(),
+                   std::vector<double>(days, 0.0));
+}
+
+void MobilityMatrix::observe(const telemetry::UserDayObservation& observation,
+                             int top_k) {
+  if (observation.day < first_day_ || observation.day > last_day_) return;
+  if (observation.stays.empty()) return;
+  const auto day_index = static_cast<std::size_t>(observation.day - first_day_);
+
+  // Top-K towers by dwell (the paper checks the top-20 locations).
+  std::vector<const telemetry::TowerStay*> stays;
+  stays.reserve(observation.stays.size());
+  for (const auto& s : observation.stays) stays.push_back(&s);
+  if (top_k > 0 && stays.size() > static_cast<std::size_t>(top_k)) {
+    std::nth_element(stays.begin(), stays.begin() + (top_k - 1), stays.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->hours > b->hours;
+                     });
+    stays.resize(static_cast<std::size_t>(top_k));
+  }
+
+  // Mark each distinct county once.
+  std::vector<std::uint32_t> seen;
+  for (const auto* stay : stays) {
+    const auto county = stay->county.value();
+    if (std::find(seen.begin(), seen.end(), county) != seen.end()) continue;
+    seen.push_back(county);
+    presence_[county][day_index] += 1.0;
+  }
+}
+
+double MobilityMatrix::presence(CountyId county, SimDay day) const {
+  if (day < first_day_ || day > last_day_) return 0.0;
+  return presence_[county.value()][static_cast<std::size_t>(day - first_day_)];
+}
+
+double MobilityMatrix::home_presence(SimDay day) const {
+  return presence(home_county_, day);
+}
+
+std::vector<MobilityMatrix::Row> MobilityMatrix::rows(int baseline_week,
+                                                      int top_n) const {
+  const SimDay week_start = week_start_day(baseline_week);
+
+  // Baseline: the MEAN daily presence over the reference week. The paper
+  // uses the median of week 9; at full operator scale the two coincide, but
+  // at simulation scale counties that only receive weekend visitors have a
+  // zero median (4+ weekdays of 0), which would erase exactly the rows
+  // Fig 7 is about. DESIGN.md documents this substitution.
+  const auto baseline_of = [&](std::uint32_t county) {
+    std::vector<double> values;
+    for (SimDay d = week_start; d < week_start + kDaysPerWeek; ++d)
+      if (d >= first_day_ && d <= last_day_)
+        values.push_back(
+            presence_[county][static_cast<std::size_t>(d - first_day_)]);
+    return stats::mean(values);
+  };
+
+  // Rank receiving counties (everything except home) by baseline presence.
+  std::vector<std::pair<double, std::uint32_t>> ranked;
+  for (std::uint32_t c = 0; c < presence_.size(); ++c) {
+    if (c == home_county_.value()) continue;
+    ranked.emplace_back(baseline_of(c), c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (ranked.size() > static_cast<std::size_t>(top_n))
+    ranked.resize(static_cast<std::size_t>(top_n));
+
+  std::vector<Row> rows;
+  const auto emit = [&](std::uint32_t county) {
+    Row row;
+    row.county = CountyId{county};
+    row.baseline = baseline_of(county);
+    for (SimDay d = first_day_; d <= last_day_; ++d) {
+      const double value =
+          presence_[county][static_cast<std::size_t>(d - first_day_)];
+      row.delta_pct.push_back(
+          {d, stats::delta_percent(value, row.baseline)});
+    }
+    rows.push_back(std::move(row));
+  };
+
+  emit(home_county_.value());
+  for (const auto& [baseline, county] : ranked) emit(county);
+  return rows;
+}
+
+}  // namespace cellscope::analysis

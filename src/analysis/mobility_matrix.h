@@ -1,0 +1,64 @@
+// Mobility matrix: residents of one county observed across all counties.
+//
+// Section 3.4 / Fig 7: for each Inner London resident, take the counties of
+// their top-20 visited locations each day; if the home county is absent,
+// the resident has (temporarily) relocated. The matrix row for county C on
+// day D is the number of tracked residents present in C on D, reported as
+// the percentage change against the county's median over the reference
+// week. The "home county" row reveals the sustained ~10% relocation; the
+// getaway-county rows reveal weekend trips, the pre-lockdown rush and the
+// relocation destinations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/simtime.h"
+#include "common/timeseries.h"
+#include "geo/uk_model.h"
+#include "telemetry/observation.h"
+
+namespace cellscope::analysis {
+
+class MobilityMatrix {
+ public:
+  // Tracks residents of `home_county` over days [first_day, last_day].
+  MobilityMatrix(const geo::UkGeography& geography, CountyId home_county,
+                 SimDay first_day, SimDay last_day);
+
+  // Records one tracked resident's day: marks presence in every county
+  // hosting one of the observation's (top-20) towers. Days outside the
+  // window and empty observations are ignored.
+  void observe(const telemetry::UserDayObservation& observation,
+               int top_k = 20);
+
+  // Number of tracked residents present in `county` on `day`.
+  [[nodiscard]] double presence(CountyId county, SimDay day) const;
+
+  // Residents present in their home county on `day` (the Fig 7 headline row).
+  [[nodiscard]] double home_presence(SimDay day) const;
+
+  struct Row {
+    CountyId county;
+    double baseline = 0.0;             // median presence over baseline week
+    std::vector<DayPoint> delta_pct;   // per-day % change vs baseline
+  };
+
+  // Matrix rows: the home county plus the top `top_n` receiving counties by
+  // baseline-week average presence, each as delta-% vs the baseline week's
+  // median (paper uses week 9).
+  [[nodiscard]] std::vector<Row> rows(int baseline_week, int top_n = 10) const;
+
+  [[nodiscard]] CountyId home_county() const { return home_county_; }
+
+ private:
+  const geo::UkGeography& geography_;
+  CountyId home_county_;
+  SimDay first_day_;
+  SimDay last_day_;
+  // presence_[county][day - first_day]
+  std::vector<std::vector<double>> presence_;
+};
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,95 @@
+#include "analysis/mobility_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cellscope::analysis {
+
+double entropy_from_dwell(std::span<const double> hours) {
+  double total = 0.0;
+  for (const double h : hours) total += h;
+  if (total <= 0.0) return 0.0;
+  double e = 0.0;
+  for (const double h : hours) {
+    if (h <= 0.0) continue;
+    const double p = h / total;
+    e -= p * std::log(p);
+  }
+  return e;
+}
+
+double gyration_from_stays(std::span<const LatLon> locations,
+                           std::span<const double> hours) {
+  if (locations.size() != hours.size() || locations.empty()) return 0.0;
+  double total = 0.0;
+  for (const double h : hours) total += h;
+  if (total <= 0.0) return 0.0;
+
+  // Time-weighted centre of mass.
+  double lat = 0.0, lon = 0.0;
+  for (std::size_t j = 0; j < locations.size(); ++j) {
+    lat += hours[j] * locations[j].lat_deg;
+    lon += hours[j] * locations[j].lon_deg;
+  }
+  const LatLon cm{lat / total, lon / total};
+
+  double accum = 0.0;
+  for (std::size_t j = 0; j < locations.size(); ++j) {
+    const double d = distance_km(locations[j], cm);
+    accum += hours[j] * d * d;
+  }
+  return std::sqrt(accum / total);
+}
+
+std::optional<DayMetrics> compute_day_metrics(
+    const telemetry::UserDayObservation& observation,
+    const MobilityMetricOptions& options) {
+  // Extract dwell time per tower in the selected window.
+  struct Entry {
+    LatLon location;
+    double hours;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(observation.stays.size());
+  for (const auto& stay : observation.stays) {
+    const double h =
+        options.four_hour_bin
+            ? static_cast<double>(stay.bin_hours[static_cast<std::size_t>(
+                  *options.four_hour_bin)])
+            : static_cast<double>(stay.hours);
+    if (h > 0.0) entries.push_back({stay.location, h});
+  }
+  if (entries.empty()) return std::nullopt;
+
+  // Top-K towers by dwell time (Section 2.3 keeps the top 20).
+  if (options.top_k > 0 &&
+      entries.size() > static_cast<std::size_t>(options.top_k)) {
+    std::nth_element(entries.begin(),
+                     entries.begin() + (options.top_k - 1), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.hours > b.hours;
+                     });
+    entries.resize(static_cast<std::size_t>(options.top_k));
+  }
+
+  std::vector<LatLon> locations;
+  std::vector<double> hours;
+  locations.reserve(entries.size());
+  hours.reserve(entries.size());
+  double total = 0.0;
+  for (const auto& e : entries) {
+    locations.push_back(e.location);
+    hours.push_back(e.hours);
+    total += e.hours;
+  }
+
+  DayMetrics metrics;
+  metrics.entropy = entropy_from_dwell(hours);
+  metrics.gyration_km = gyration_from_stays(locations, hours);
+  metrics.towers_visited = static_cast<int>(entries.size());
+  metrics.hours_observed = total;
+  return metrics;
+}
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,148 @@
+#include "analysis/network_metrics.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace cellscope::analysis {
+
+namespace {
+// The five Section 4.3 counties, in figure order.
+constexpr std::array<geo::Region, 5> kFigureRegions = {
+    geo::Region::kOuterLondon, geo::Region::kInnerLondon,
+    geo::Region::kGreaterManchester, geo::Region::kWestMidlands,
+    geo::Region::kWestYorkshire};
+}  // namespace
+
+CellGrouping group_by_region(const geo::UkGeography& geography,
+                             const radio::RadioTopology& topology) {
+  (void)geography;
+  CellGrouping grouping;
+  grouping.names.emplace_back("UK - all regions");
+  grouping.all_group = 0;
+  for (const auto region : kFigureRegions)
+    grouping.names.emplace_back(geo::region_name(region));
+
+  grouping.group_of.assign(topology.cells().size(), CellGrouping::kUngrouped);
+  for (const auto cell_id : topology.lte_cells()) {
+    const auto& site = topology.site(topology.cell(cell_id).site);
+    std::int32_t group = CellGrouping::kUngrouped;
+    for (std::size_t r = 0; r < kFigureRegions.size(); ++r) {
+      if (site.region == kFigureRegions[r]) {
+        group = static_cast<std::int32_t>(r + 1);
+        break;
+      }
+    }
+    grouping.group_of[cell_id.value()] = group;
+  }
+  return grouping;
+}
+
+CellGrouping group_by_cluster(const geo::UkGeography& geography,
+                              const radio::RadioTopology& topology,
+                              CountyId restrict_to_county) {
+  CellGrouping grouping;
+  for (const auto cluster : geo::all_oac_clusters())
+    grouping.names.emplace_back(geo::oac_name(cluster));
+
+  grouping.group_of.assign(topology.cells().size(), CellGrouping::kUngrouped);
+  for (const auto cell_id : topology.lte_cells()) {
+    const auto& site = topology.site(topology.cell(cell_id).site);
+    if (restrict_to_county.valid() && site.county != restrict_to_county)
+      continue;
+    const auto& district = geography.district(site.district);
+    grouping.group_of[cell_id.value()] =
+        static_cast<std::int32_t>(district.cluster);
+  }
+  return grouping;
+}
+
+CellGrouping group_by_london_postal_area(
+    const geo::UkGeography& geography, const radio::RadioTopology& topology) {
+  CellGrouping grouping;
+  const auto inner = geography.county_by_name("Inner London");
+  std::vector<std::int32_t> lad_to_group(geography.lads().size(),
+                                         CellGrouping::kUngrouped);
+  for (const auto& lad : geography.lads()) {
+    if (!inner || lad.county != *inner) continue;
+    lad_to_group[lad.id.value()] =
+        static_cast<std::int32_t>(grouping.names.size());
+    grouping.names.push_back(lad.name);
+  }
+
+  grouping.group_of.assign(topology.cells().size(), CellGrouping::kUngrouped);
+  for (const auto cell_id : topology.lte_cells()) {
+    const auto& site = topology.site(topology.cell(cell_id).site);
+    const auto& district = geography.district(site.district);
+    grouping.group_of[cell_id.value()] = lad_to_group[district.lad.value()];
+  }
+  return grouping;
+}
+
+CellGrouping group_by_rat(const radio::RadioTopology& topology) {
+  CellGrouping grouping;
+  grouping.names = {"2G", "3G", "4G"};
+  grouping.group_of.assign(topology.cells().size(), CellGrouping::kUngrouped);
+  for (const auto& cell : topology.cells())
+    grouping.group_of[cell.id.value()] = static_cast<std::int32_t>(cell.rat);
+  return grouping;
+}
+
+KpiGroupSeries::KpiGroupSeries(const telemetry::KpiStore& store,
+                               const CellGrouping& grouping,
+                               telemetry::KpiMetric metric,
+                               CellReduction reduction) {
+  if (store.empty()) return;
+  series_.reserve(grouping.group_count());
+  for (std::size_t g = 0; g < grouping.group_count(); ++g)
+    series_.emplace_back(store.first_day(), store.last_day());
+
+  // Records are day-major: walk day runs and reduce each group per day.
+  std::vector<stats::SampleBuffer> buffers(grouping.group_count());
+  const auto reduce = [&](const stats::SampleBuffer& buffer) {
+    switch (reduction) {
+      case CellReduction::kMedian: return buffer.median();
+      case CellReduction::kMean: return buffer.mean();
+      case CellReduction::kSum: return buffer.mean() *
+                                       static_cast<double>(buffer.size());
+    }
+    return buffer.median();
+  };
+  const auto flush_day = [&](SimDay day) {
+    for (std::size_t g = 0; g < buffers.size(); ++g) {
+      if (!buffers[g].empty())
+        series_[g].set(day, reduce(buffers[g]));
+      buffers[g].clear();
+    }
+  };
+
+  SimDay current = store.first_day();
+  for (const auto& record : store.records()) {
+    if (record.day != current) {
+      flush_day(current);
+      current = record.day;
+    }
+    const auto group = grouping.group_of[record.cell.value()];
+    const double value = telemetry::kpi_value(record, metric);
+    if (group != CellGrouping::kUngrouped)
+      buffers[static_cast<std::size_t>(group)].add(value);
+    if (grouping.all_group != CellGrouping::kUngrouped)
+      buffers[static_cast<std::size_t>(grouping.all_group)].add(value);
+  }
+  flush_day(current);
+}
+
+std::vector<WeekPoint> KpiGroupSeries::weekly_delta(std::size_t group,
+                                                    int baseline_week,
+                                                    int from_week,
+                                                    int to_week) const {
+  return weekly_median_delta_percent(series_.at(group),
+                                     baseline(group, baseline_week),
+                                     from_week, to_week);
+}
+
+double KpiGroupSeries::baseline(std::size_t group, int baseline_week) const {
+  return series_.at(group).week_median(baseline_week);
+}
+
+}  // namespace cellscope::analysis

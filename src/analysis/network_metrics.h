@@ -1,0 +1,91 @@
+// Grouped network-performance series.
+//
+// Sections 4.1-4.5 and 5 slice the per-cell daily KPI records along three
+// geographies: named regions (Fig 8), geodemographic clusters (Figs 10, 12)
+// and London postal areas (Fig 11). This module builds, for any cell->group
+// map, the per-day per-group *median across cells* of a KPI, and derives
+// the weekly-median delta-% lines the figures plot. Group maps for the
+// three geographies (plus "UK — all regions") are provided as helpers over
+// the radio topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.h"
+#include "geo/uk_model.h"
+#include "radio/topology.h"
+#include "telemetry/kpi.h"
+
+namespace cellscope::analysis {
+
+// Cell-to-group assignment: groups[cell id] in [0, group_count), or
+// kUngrouped to exclude the cell. A cell may additionally belong to the
+// special "all" group when `all_group` is set (the "UK - all regions" line).
+struct CellGrouping {
+  static constexpr std::int32_t kUngrouped = -1;
+
+  std::vector<std::int32_t> group_of;  // by CellId value
+  std::vector<std::string> names;      // group display names
+  std::int32_t all_group = kUngrouped; // optional catch-all group index
+
+  [[nodiscard]] std::size_t group_count() const { return names.size(); }
+};
+
+// "UK - all regions" + the five Section 4.3 analysis counties.
+[[nodiscard]] CellGrouping group_by_region(const geo::UkGeography& geography,
+                                           const radio::RadioTopology& topology);
+
+// The eight OAC supergroups (Fig 10). `restrict_to_county`, if valid,
+// limits cells to that county (Fig 12: London clusters).
+[[nodiscard]] CellGrouping group_by_cluster(
+    const geo::UkGeography& geography, const radio::RadioTopology& topology,
+    CountyId restrict_to_county = CountyId::invalid());
+
+// Inner London postal areas (Fig 11: EC, WC, N, ... — the LADs of the
+// Inner London county).
+[[nodiscard]] CellGrouping group_by_london_postal_area(
+    const geo::UkGeography& geography, const radio::RadioTopology& topology);
+
+// One group per radio technology (2G/3G/4G). Only meaningful on stores
+// collected with collect_legacy_kpis; the default store contains 4G only.
+[[nodiscard]] CellGrouping group_by_rat(const radio::RadioTopology& topology);
+
+// How the per-cell daily values reduce into the group's daily value.
+// Per-cell KPI panels use the median across cells (the paper's "median
+// variation per cluster"); totals ("the total number of users connected to
+// the network", Section 4.4) use the sum.
+enum class CellReduction : std::uint8_t { kMedian = 0, kMean, kSum };
+
+// Per-day per-group reduction (across cells) of one KPI metric.
+class KpiGroupSeries {
+ public:
+  KpiGroupSeries() = default;
+
+  // Builds from the full KPI store; records must be day-ordered (KpiStore
+  // guarantees this).
+  KpiGroupSeries(const telemetry::KpiStore& store,
+                 const CellGrouping& grouping, telemetry::KpiMetric metric,
+                 CellReduction reduction = CellReduction::kMedian);
+
+  [[nodiscard]] const DailySeries& group(std::size_t index) const {
+    return series_.at(index);
+  }
+  [[nodiscard]] std::size_t group_count() const { return series_.size(); }
+
+  // Weekly-median delta-% vs the group's own baseline-week median daily
+  // value (the Fig 8..12 line shape).
+  [[nodiscard]] std::vector<WeekPoint> weekly_delta(std::size_t group,
+                                                    int baseline_week,
+                                                    int from_week,
+                                                    int to_week) const;
+
+  // The group's baseline: median of its daily values over `baseline_week`.
+  [[nodiscard]] double baseline(std::size_t group, int baseline_week) const;
+
+ private:
+  std::vector<DailySeries> series_;
+};
+
+}  // namespace cellscope::analysis

@@ -1,0 +1,34 @@
+#include "analysis/validation.h"
+
+namespace cellscope::analysis {
+
+HomeValidation validate_homes(const geo::UkGeography& geography,
+                              std::span<const HomeRecord> homes,
+                              std::int64_t subscriber_count) {
+  HomeValidation validation;
+
+  std::vector<std::int64_t> counts(geography.lads().size(), 0);
+  for (const auto& home : homes) {
+    const auto& district = geography.district(home.home_district);
+    ++counts[district.lad.value()];
+  }
+
+  std::vector<double> x, y;
+  x.reserve(counts.size());
+  y.reserve(counts.size());
+  for (const auto& lad : geography.lads()) {
+    LadValidationPoint point;
+    point.lad = lad.id;
+    point.census_population = lad.census_population;
+    point.inferred_residents = counts[lad.id.value()];
+    validation.points.push_back(point);
+    x.push_back(static_cast<double>(point.census_population));
+    y.push_back(static_cast<double>(point.inferred_residents));
+  }
+  validation.fit = stats::linear_fit(x, y);
+  validation.expected_market_share =
+      geo::expected_market_share(geography, subscriber_count);
+  return validation;
+}
+
+}  // namespace cellscope::analysis

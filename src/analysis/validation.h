@@ -1,0 +1,41 @@
+// Home-detection validation against the census (Fig 2).
+//
+// The paper validates home detection by assigning every detected user to a
+// Local Authority District and regressing the inferred per-LAD subscriber
+// counts against ONS population estimates: a linear relationship with
+// r^2 = 0.955 certifies that the MNO's footprint is representative. The
+// slope of that line is the operator's effective market share.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "analysis/home_detection.h"
+#include "geo/census.h"
+#include "geo/uk_model.h"
+
+namespace cellscope::analysis {
+
+struct LadValidationPoint {
+  LadId lad;
+  std::int64_t census_population = 0;
+  std::int64_t inferred_residents = 0;
+};
+
+struct HomeValidation {
+  std::vector<LadValidationPoint> points;  // LAD id order
+  stats::LinearFit fit;                    // inferred = slope*census + b
+  // Slope an unbiased detector should recover (subscribers / census total).
+  double expected_market_share = 0.0;
+};
+
+// Assigns each detected home to its LAD and fits inferred vs census.
+// `subscriber_count` is the number of users that entered home detection
+// (used for the expected market share).
+[[nodiscard]] HomeValidation validate_homes(
+    const geo::UkGeography& geography, std::span<const HomeRecord> homes,
+    std::int64_t subscriber_count);
+
+}  // namespace cellscope::analysis

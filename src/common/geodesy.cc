@@ -1,0 +1,43 @@
+#include "common/geodesy.h"
+
+#include <cassert>
+
+namespace cellscope {
+
+double haversine_km(const LatLon& a, const LatLon& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+LatLon weighted_centroid(const std::vector<LatLon>& points,
+                         const std::vector<double>& weights) {
+  assert(points.size() == weights.size());
+  if (points.empty()) return {};
+  double total = 0.0;
+  double lat = 0.0;
+  double lon = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    assert(weights[i] >= 0.0);
+    total += weights[i];
+    lat += weights[i] * points[i].lat_deg;
+    lon += weights[i] * points[i].lon_deg;
+  }
+  if (total <= 0.0) return points.front();
+  return {lat / total, lon / total};
+}
+
+LatLon offset_km(const LatLon& origin, double east_km, double north_km) {
+  const double dlat = north_km / kEarthRadiusKm * 180.0 / std::numbers::pi;
+  const double dlon = east_km /
+                      (kEarthRadiusKm * std::cos(deg2rad(origin.lat_deg))) *
+                      180.0 / std::numbers::pi;
+  return {origin.lat_deg + dlat, origin.lon_deg + dlon};
+}
+
+}  // namespace cellscope

@@ -1,0 +1,69 @@
+// Geographic primitives.
+//
+// The synthetic UK lives on real WGS84-style coordinates so that radius of
+// gyration (paper Eq. 2) comes out in kilometres. Distances use the
+// equirectangular approximation, which is accurate to well under 1% at UK
+// latitudes and trip scales, and is what makes the per-user-day gyration
+// loop cheap enough to run over the whole population.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace cellscope {
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+[[nodiscard]] constexpr double deg2rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+
+// Equirectangular-approximation great-circle distance in km.
+[[nodiscard]] inline double distance_km(const LatLon& a, const LatLon& b) {
+  const double mean_lat = deg2rad(0.5 * (a.lat_deg + b.lat_deg));
+  const double dx = deg2rad(b.lon_deg - a.lon_deg) * std::cos(mean_lat);
+  const double dy = deg2rad(b.lat_deg - a.lat_deg);
+  return kEarthRadiusKm * std::sqrt(dx * dx + dy * dy);
+}
+
+// Exact haversine distance in km (reference implementation; used by tests to
+// bound the equirectangular error and available to callers that need it).
+[[nodiscard]] double haversine_km(const LatLon& a, const LatLon& b);
+
+// Time-weighted center of mass of a trajectory, as used by Eq. 2:
+// l_cm = (1/T) * sum(t_j * l_j). Weights must be non-negative; returns the
+// unweighted first point if all weights are zero.
+[[nodiscard]] LatLon weighted_centroid(const std::vector<LatLon>& points,
+                                       const std::vector<double>& weights);
+
+// Axis-aligned bounding box in degrees; used to lay out synthetic districts.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+
+  [[nodiscard]] bool contains(const LatLon& p) const {
+    return p.lat_deg >= min_lat && p.lat_deg <= max_lat &&
+           p.lon_deg >= min_lon && p.lon_deg <= max_lon;
+  }
+  [[nodiscard]] LatLon center() const {
+    return {0.5 * (min_lat + max_lat), 0.5 * (min_lon + max_lon)};
+  }
+  [[nodiscard]] double width_deg() const { return max_lon - min_lon; }
+  [[nodiscard]] double height_deg() const { return max_lat - min_lat; }
+};
+
+// Point at a given km offset (east, north) from an origin.
+[[nodiscard]] LatLon offset_km(const LatLon& origin, double east_km,
+                               double north_km);
+
+}  // namespace cellscope

@@ -1,0 +1,83 @@
+// Strong identifier types used across the framework.
+//
+// Every entity that the measurement infrastructure of the paper talks about
+// (subscribers, cells, cell sites, postcode districts, ...) gets its own
+// non-interconvertible integer id so that a CellId can never be passed where
+// a UserId is expected. Ids are trivially hashable and ordered so they can
+// key flat maps and be sorted into deterministic report order.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cellscope {
+
+// CRTP-free strong typedef over a 32/64-bit integer. `Tag` makes distinct
+// instantiations distinct types; `Rep` picks the width.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  // An id that compares unequal to every id a generator hands out.
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{kInvalid}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+struct UserIdTag {};
+struct CellIdTag {};
+struct SiteIdTag {};
+struct SectorIdTag {};
+struct PostcodeDistrictIdTag {};
+struct LadIdTag {};
+struct CountyIdTag {};
+struct RegionIdTag {};
+struct PlaceIdTag {};
+struct TacTag {};
+
+// Anonymized subscriber id (the paper's "anonymized user ID", Section 2.2).
+using UserId = StrongId<UserIdTag>;
+// One logical radio cell (one carrier on one sector of one site).
+using CellId = StrongId<CellIdTag>;
+// Physical cell site ("cell tower", Section 2.1).
+using SiteId = StrongId<SiteIdTag>;
+// Radio sector of a site; KPI granularity in the Radio Network Performance feed.
+using SectorId = StrongId<SectorIdTag>;
+// Postcode district (e.g. "EC1" -> modeled as one district id).
+using PostcodeDistrictId = StrongId<PostcodeDistrictIdTag>;
+// Local Authority District, the Fig. 2 validation granularity.
+using LadId = StrongId<LadIdTag>;
+// County (Fig. 7 mobility-matrix granularity).
+using CountyId = StrongId<CountyIdTag>;
+// Named analysis region (Inner London, West Yorkshire, ...).
+using RegionId = StrongId<RegionIdTag>;
+// One important place of one user (home, work, ...).
+using PlaceId = StrongId<PlaceIdTag>;
+// Type Allocation Code: first 8 IMEI digits, keys the device catalog.
+using Tac = StrongId<TacTag>;
+
+}  // namespace cellscope
+
+// Hash support so strong ids can key unordered containers.
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<cellscope::StrongId<Tag, Rep>> {
+  size_t operator()(cellscope::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

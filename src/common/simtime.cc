@@ -1,0 +1,60 @@
+#include "common/simtime.h"
+
+#include <cstdio>
+
+namespace cellscope {
+
+namespace {
+// 2020 is a leap year.
+constexpr std::array<int, 12> kDaysInMonth2020 = {31, 29, 31, 30, 31, 30,
+                                                  31, 31, 30, 31, 30, 31};
+}  // namespace
+
+CalendarDate calendar_date(SimDay day) {
+  // Epoch is 2020-02-03. Walk forward month by month.
+  int month = 2;
+  int dom = 3 + day;
+  int year = 2020;
+  while (dom > kDaysInMonth2020[month - 1]) {
+    dom -= kDaysInMonth2020[month - 1];
+    ++month;
+    if (month > 12) {  // the study window never leaves 2020, but be safe
+      month = 1;
+      ++year;
+    }
+  }
+  while (dom < 1) {
+    --month;
+    if (month < 1) {
+      month = 12;
+      --year;
+    }
+    dom += kDaysInMonth2020[month - 1];
+  }
+  return CalendarDate{year, month, dom};
+}
+
+std::string format_date(SimDay day) {
+  const CalendarDate d = calendar_date(day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string_view weekday_name(Weekday wd) {
+  static constexpr std::array<std::string_view, 7> kNames = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  return kNames[static_cast<int>(wd)];
+}
+
+std::string describe_day(SimDay day) {
+  std::string out{weekday_name(weekday(day))};
+  out += ' ';
+  out += format_date(day);
+  out += " (wk ";
+  out += std::to_string(iso_week(day));
+  out += ')';
+  return out;
+}
+
+}  // namespace cellscope

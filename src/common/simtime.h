@@ -1,0 +1,118 @@
+// Simulation time axis.
+//
+// The whole framework runs on a discrete hourly clock. Hour 0 is
+// Monday 2020-02-03 00:00 local time, the first hour of ISO week 6 of 2020.
+// That start gives a February warm-up long enough for the paper's home
+// detection (>= 14 nights during February, Section 2.3) before the analysis
+// window of ISO weeks 9..19 opens.
+//
+// The paper indexes everything by 2020 week number; helpers here convert
+// between sim days/hours, ISO weeks, calendar dates and the paper's special
+// windows (4-hour mobility bins, nighttime home-detection window).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cellscope {
+
+// Days since the simulation epoch (Mon 2020-02-03).
+using SimDay = std::int32_t;
+// Hours since the simulation epoch.
+using SimHour = std::int64_t;
+
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kDaysPerWeek = 7;
+
+// ISO week of 2020 containing sim day 0.
+inline constexpr int kEpochIsoWeek = 6;
+
+// Calendar anchors (sim day indices) for the UK COVID-19 timeline the paper
+// narrates in Section 1.
+namespace timeline {
+// 2020-03-11, WHO declares pandemic (week 11).
+inline constexpr SimDay kPandemicDeclared = 37;
+// 2020-03-16, government recommends working from home (week 12).
+inline constexpr SimDay kWorkFromHomeAdvice = 42;
+// 2020-03-20, closure of schools, bars, restaurants, gyms (week 12).
+inline constexpr SimDay kVenueClosures = 46;
+// 2020-03-23, full stay-at-home order (first day of week 13).
+inline constexpr SimDay kLockdownOrder = 49;
+}  // namespace timeline
+
+// Monday=0 .. Sunday=6 (the epoch is a Monday).
+enum class Weekday : std::uint8_t {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+[[nodiscard]] constexpr SimDay day_of(SimHour hour) {
+  return static_cast<SimDay>(hour / kHoursPerDay);
+}
+[[nodiscard]] constexpr int hour_of_day(SimHour hour) {
+  return static_cast<int>(hour % kHoursPerDay);
+}
+[[nodiscard]] constexpr SimHour first_hour(SimDay day) {
+  return static_cast<SimHour>(day) * kHoursPerDay;
+}
+
+[[nodiscard]] constexpr Weekday weekday(SimDay day) {
+  return static_cast<Weekday>(day % kDaysPerWeek);
+}
+[[nodiscard]] constexpr bool is_weekend(SimDay day) {
+  const auto wd = weekday(day);
+  return wd == Weekday::kSaturday || wd == Weekday::kSunday;
+}
+
+// ISO 2020 week number of a sim day (week 6 + elapsed whole weeks).
+[[nodiscard]] constexpr int iso_week(SimDay day) {
+  return kEpochIsoWeek + day / kDaysPerWeek;
+}
+// First sim day (Monday) of an ISO 2020 week.
+[[nodiscard]] constexpr SimDay week_start_day(int iso_week_number) {
+  return (iso_week_number - kEpochIsoWeek) * kDaysPerWeek;
+}
+
+// The paper computes mobility statistics "over six disjoint 4-hour bins of
+// the day" (Section 2.3). Bin 0 covers 00:00-04:00, bin 5 covers 20:00-24:00.
+inline constexpr int kFourHourBinsPerDay = 6;
+[[nodiscard]] constexpr int four_hour_bin(int hour_of_day_value) {
+  return hour_of_day_value / 4;
+}
+
+// Home-detection nighttime window: midnight through 8 AM (Section 2.3).
+[[nodiscard]] constexpr bool is_nighttime(int hour_of_day_value) {
+  return hour_of_day_value < 8;
+}
+
+// February 2020 = sim days [-2 .. 26], but the simulation starts at day 0
+// (Feb 3). Home detection therefore uses days [0, 27) = Feb 3..Feb 29 (the
+// portion of February the clock covers), which comfortably exceeds the
+// 14-night requirement.
+inline constexpr SimDay kFebruaryFirstDay = 0;
+inline constexpr SimDay kFebruaryEndDay = 27;  // exclusive
+
+// Gregorian calendar date of a sim day (for report labeling).
+struct CalendarDate {
+  int year = 2020;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend constexpr auto operator<=>(const CalendarDate&, const CalendarDate&) = default;
+};
+
+[[nodiscard]] CalendarDate calendar_date(SimDay day);
+
+// "2020-03-23" style label.
+[[nodiscard]] std::string format_date(SimDay day);
+// "Mon 2020-03-23 (wk 13)" style label used in bench output.
+[[nodiscard]] std::string describe_day(SimDay day);
+[[nodiscard]] std::string_view weekday_name(Weekday wd);
+
+}  // namespace cellscope

@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace cellscope {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("TextTable: need at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  if (rows_.empty()) row();
+  if (rows_.back().size() >= headers_.size())
+    throw std::logic_error("TextTable: more cells than columns");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* text) { return cell(std::string{text}); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string{buf});
+}
+
+TextTable& TextTable::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << "  ";
+      os << text;
+      for (std::size_t pad = text.size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+void print_claim(std::ostream& os, const std::string& claim,
+                 const std::string& paper_value,
+                 const std::string& measured_value, bool ok) {
+  os << "  [" << (ok ? "SHAPE-OK" : "MISMATCH") << "] " << claim
+     << " | paper: " << paper_value << " | measured: " << measured_value
+     << '\n';
+}
+
+}  // namespace cellscope

@@ -1,0 +1,52 @@
+// Plain-text table rendering for bench / example output.
+//
+// Every bench binary regenerates one paper figure as rows of numbers; this
+// tiny formatter keeps that output aligned and diff-friendly, and can also
+// emit CSV so series can be re-plotted outside the repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cellscope {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Starts a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(std::string text);
+  TextTable& cell(const char* text);
+  // Fixed-precision numeric cell (default matches the paper's 1-decimal
+  // delta-% style).
+  TextTable& cell(double value, int precision = 1);
+  TextTable& cell(long long value);
+  TextTable& cell(int value) { return cell(static_cast<long long>(value)); }
+  TextTable& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  // Aligned monospace rendering with a header rule.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by benches: "== Figure 3a: ... ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+// One "paper vs measured" comparison line; benches use this to record the
+// headline numbers EXPERIMENTS.md tracks. `ok` is the caller's shape check.
+void print_claim(std::ostream& os, const std::string& claim,
+                 const std::string& paper_value,
+                 const std::string& measured_value, bool ok);
+
+}  // namespace cellscope

@@ -1,0 +1,101 @@
+#include "common/timeseries.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace cellscope {
+
+DailySeries::DailySeries(SimDay first_day, SimDay last_day)
+    : first_day_(first_day), last_day_(last_day) {
+  if (last_day < first_day)
+    throw std::invalid_argument("DailySeries: last_day before first_day");
+  const auto n = static_cast<std::size_t>(last_day - first_day + 1);
+  sums_.assign(n, 0.0);
+  counts_.assign(n, 0);
+}
+
+std::size_t DailySeries::index(SimDay day) const {
+  assert(day >= first_day_ && day <= last_day_);
+  return static_cast<std::size_t>(day - first_day_);
+}
+
+void DailySeries::set(SimDay day, double value) {
+  const auto i = index(day);
+  sums_[i] = value;
+  counts_[i] = 1;
+}
+
+void DailySeries::add(SimDay day, double value) {
+  const auto i = index(day);
+  sums_[i] += value;
+  ++counts_[i];
+}
+
+bool DailySeries::has(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return false;
+  return counts_[index(day)] > 0;
+}
+
+double DailySeries::value(SimDay day) const {
+  if (!has(day)) return 0.0;
+  const auto i = index(day);
+  return sums_[i] / static_cast<double>(counts_[i]);
+}
+
+std::size_t DailySeries::count(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return 0;
+  return counts_[index(day)];
+}
+
+std::vector<double> DailySeries::week_values(int iso_week_number) const {
+  std::vector<double> out;
+  const SimDay start = week_start_day(iso_week_number);
+  for (SimDay d = start; d < start + kDaysPerWeek; ++d)
+    if (has(d)) out.push_back(value(d));
+  return out;
+}
+
+double DailySeries::week_mean(int iso_week_number) const {
+  return stats::mean(week_values(iso_week_number));
+}
+
+double DailySeries::week_median(int iso_week_number) const {
+  return stats::median(week_values(iso_week_number));
+}
+
+std::vector<DayPoint> daily_delta_percent(const DailySeries& series,
+                                          double baseline) {
+  std::vector<DayPoint> out;
+  for (SimDay d = series.first_day(); d <= series.last_day(); ++d)
+    if (series.has(d))
+      out.push_back({d, stats::delta_percent(series.value(d), baseline)});
+  return out;
+}
+
+std::vector<WeekPoint> weekly_median_delta_percent(const DailySeries& series,
+                                                   double baseline,
+                                                   int from_week, int to_week) {
+  std::vector<WeekPoint> out;
+  for (int w = from_week; w <= to_week; ++w) {
+    const auto values = series.week_values(w);
+    if (values.empty()) continue;
+    out.push_back({w, stats::delta_percent(stats::median(values), baseline)});
+  }
+  return out;
+}
+
+std::vector<WeekPoint> weekly_mean_delta_percent(const DailySeries& series,
+                                                 double baseline,
+                                                 int from_week, int to_week) {
+  std::vector<WeekPoint> out;
+  for (int w = from_week; w <= to_week; ++w) {
+    const auto values = series.week_values(w);
+    if (values.empty()) continue;
+    out.push_back({w, stats::delta_percent(stats::mean(values), baseline)});
+  }
+  return out;
+}
+
+}  // namespace cellscope

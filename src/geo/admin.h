@@ -1,0 +1,79 @@
+// UK administrative hierarchy records.
+//
+// The paper aggregates everything "at postcode level or larger granularity"
+// and analyses four geographies: postcode districts (Fig 11), Local
+// Authority Districts (Fig 2), counties (Fig 7) and named regions / the
+// whole UK (Figs 3, 5, 8). This header defines the records of our synthetic
+// National Statistics Postcode Lookup (NSPL) equivalent; geo/uk_model.h
+// builds a consistent instance of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/geodesy.h"
+#include "common/ids.h"
+#include "geo/oac.h"
+
+namespace cellscope::geo {
+
+// The five high-user-count analysis regions of Sections 3.2 / 4.3, plus the
+// rest of the country. "UK - all regions" is represented by aggregating all.
+enum class Region : std::uint8_t {
+  kInnerLondon = 0,
+  kOuterLondon,
+  kGreaterManchester,
+  kWestMidlands,
+  kWestYorkshire,
+  kRestOfUk,
+};
+inline constexpr int kRegionCount = 6;
+
+[[nodiscard]] std::string_view region_name(Region region);
+
+// Density archetype of a county; drives site density, place layout and the
+// census synthesis.
+enum class UrbanProfile : std::uint8_t {
+  kMetroCore = 0,  // dense city centre (Inner London)
+  kMetro,          // large conurbation
+  kTown,           // towns + suburbs
+  kRural,          // countryside, low density
+};
+
+struct CountyInfo {
+  CountyId id;
+  std::string name;
+  Region region = Region::kRestOfUk;
+  LatLon center;
+  UrbanProfile profile = UrbanProfile::kTown;
+  // Synthetic ONS resident count (ground truth for Fig 2 / market share).
+  std::int64_t census_population = 0;
+  // Relative attractiveness for weekend trips / temporary relocation from
+  // London (Fig 7's receiving counties: Hampshire, Kent, East Sussex...).
+  double getaway_attraction = 0.0;
+};
+
+struct LadInfo {
+  LadId id;
+  std::string name;
+  CountyId county;
+  std::int64_t census_population = 0;
+};
+
+struct DistrictInfo {
+  PostcodeDistrictId id;
+  std::string name;  // e.g. "EC", "WC", "M-03"
+  LadId lad;
+  CountyId county;
+  Region region = Region::kRestOfUk;
+  LatLon center;
+  double radius_km = 2.0;      // districts are modeled as discs
+  std::int64_t residents = 0;  // census residents
+  // Daytime pull of the district for work / leisure trips, relative to
+  // residents (EC/WC: huge; dormitory suburbs: small).
+  double job_weight = 0.0;
+  double visitor_weight = 0.0;
+  OacCluster cluster = OacCluster::kUrbanites;
+};
+
+}  // namespace cellscope::geo

@@ -1,0 +1,20 @@
+#include "geo/census.h"
+
+namespace cellscope::geo {
+
+std::vector<LadPopulationRow> census_by_lad(const UkGeography& geography) {
+  std::vector<LadPopulationRow> rows;
+  rows.reserve(geography.lads().size());
+  for (const auto& lad : geography.lads())
+    rows.push_back({lad.id, lad.name, lad.census_population});
+  return rows;
+}
+
+double expected_market_share(const UkGeography& geography,
+                             std::int64_t subscriber_count) {
+  const auto total = geography.census_total();
+  if (total <= 0) return 0.0;
+  return static_cast<double>(subscriber_count) / static_cast<double>(total);
+}
+
+}  // namespace cellscope::geo

@@ -1,0 +1,33 @@
+// Synthetic ONS census views.
+//
+// Figure 2 of the paper validates home detection by comparing the inferred
+// per-LAD subscriber counts against ONS population estimates. This header
+// exposes the synthetic geography's census as the same per-LAD table, plus
+// the market-share arithmetic the comparison needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/uk_model.h"
+
+namespace cellscope::geo {
+
+struct LadPopulationRow {
+  LadId lad;
+  std::string name;
+  std::int64_t census_population = 0;
+};
+
+// Per-LAD census table in LAD id order.
+[[nodiscard]] std::vector<LadPopulationRow> census_by_lad(
+    const UkGeography& geography);
+
+// Expected MNO market share implied by a subscriber count: the slope the
+// Fig 2 fit should recover when home detection is unbiased.
+[[nodiscard]] double expected_market_share(const UkGeography& geography,
+                                           std::int64_t subscriber_count);
+
+}  // namespace cellscope::geo

@@ -1,0 +1,97 @@
+#include "geo/oac.h"
+
+namespace cellscope::geo {
+
+namespace {
+struct ClusterRow {
+  std::string_view name;
+  std::string_view definition;
+  OacTraits traits;
+};
+
+// Order matches the OacCluster enum. Definitions are Table 1 verbatim;
+// traits encode the paper's qualitative cluster statements.
+constexpr std::array<ClusterRow, kOacClusterCount> kRows = {{
+    {"Rural Residents",
+     "Rural areas, low density, older and educated population",
+     // Wide daily ranges (Fig 6a wks 9-11 above national), regular routines,
+     // few visitors, weekend/second-home inflows handled by the relocation
+     // model.
+     {.range_factor = 1.6,
+      .variety_factor = 0.85,
+      .visitor_ratio = 0.45,
+      .seasonal_fraction = 0.02,
+      .wfh_capable = 0.35}},
+    {"Cosmopolitans",
+     "Densely populated urban areas, high ethnic integration, young adults "
+     "and students",
+     // Small ranges, erratic visitation (Fig 6 wks 9-11), and the paper's
+     // defining property for Fig 10: far more visitors than residents and a
+     // large seasonal-resident share (students, tourists).
+     {.range_factor = 0.62,
+      .variety_factor = 1.30,
+      .visitor_ratio = 3.2,
+      .seasonal_fraction = 0.30,
+      .wfh_capable = 0.75}},
+    {"Ethnicity Central",
+     "Denser central areas of London, non-white ethnic groups, young adults",
+     {.range_factor = 0.66,
+      .variety_factor = 1.25,
+      .visitor_ratio = 1.8,
+      .seasonal_fraction = 0.15,
+      .wfh_capable = 0.55}},
+    {"Multicultural Metropolitans",
+     "Urban areas in transition between centres and suburbia, high ethnic mix",
+     {.range_factor = 0.85,
+      .variety_factor = 1.05,
+      .visitor_ratio = 0.9,
+      .seasonal_fraction = 0.04,
+      .wfh_capable = 0.40}},
+    {"Urbanites",
+     "Urban areas mainly in southern England, average ethnic mix, low "
+     "unemployment",
+     {.range_factor = 1.0,
+      .variety_factor = 1.0,
+      .visitor_ratio = 0.9,
+      .seasonal_fraction = 0.03,
+      .wfh_capable = 0.60}},
+    {"Suburbanites",
+     "Population above retirement age and parents with school age children, "
+     "low unemployment",
+     {.range_factor = 1.1,
+      .variety_factor = 0.9,
+      .visitor_ratio = 0.6,
+      .seasonal_fraction = 0.01,
+      .wfh_capable = 0.55}},
+    {"Constrained City Dwellers",
+     "Densely populated areas, single/divorced population, higher level of "
+     "unemployment",
+     {.range_factor = 0.8,
+      .variety_factor = 0.95,
+      .visitor_ratio = 0.7,
+      .seasonal_fraction = 0.02,
+      .wfh_capable = 0.25}},
+    {"Hard-pressed Living",
+     "Urban surroundings (northern England/southern Wales), higher rates of "
+     "unemployment",
+     {.range_factor = 0.95,
+      .variety_factor = 0.9,
+      .visitor_ratio = 0.65,
+      .seasonal_fraction = 0.01,
+      .wfh_capable = 0.20}},
+}};
+}  // namespace
+
+std::string_view oac_name(OacCluster cluster) {
+  return kRows[static_cast<int>(cluster)].name;
+}
+
+std::string_view oac_definition(OacCluster cluster) {
+  return kRows[static_cast<int>(cluster)].definition;
+}
+
+const OacTraits& oac_traits(OacCluster cluster) {
+  return kRows[static_cast<int>(cluster)].traits;
+}
+
+}  // namespace cellscope::geo

@@ -1,0 +1,67 @@
+// 2011 Output Area Classification (OAC) supergroups.
+//
+// The paper's geodemographic analysis (Sections 3.3, 4.4, 5.2 and Table 1)
+// groups postcode areas into the eight 2011 OAC supergroups published by the
+// UK Office for National Statistics. This header reproduces Table 1 and adds
+// the per-cluster behavioural descriptors the synthetic models consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cellscope::geo {
+
+enum class OacCluster : std::uint8_t {
+  kRuralResidents = 0,
+  kCosmopolitans,
+  kEthnicityCentral,
+  kMulticulturalMetropolitans,
+  kUrbanites,
+  kSuburbanites,
+  kConstrainedCityDwellers,
+  kHardPressedLiving,
+};
+
+inline constexpr int kOacClusterCount = 8;
+
+[[nodiscard]] constexpr std::array<OacCluster, kOacClusterCount>
+all_oac_clusters() {
+  return {OacCluster::kRuralResidents,
+          OacCluster::kCosmopolitans,
+          OacCluster::kEthnicityCentral,
+          OacCluster::kMulticulturalMetropolitans,
+          OacCluster::kUrbanites,
+          OacCluster::kSuburbanites,
+          OacCluster::kConstrainedCityDwellers,
+          OacCluster::kHardPressedLiving};
+}
+
+// Table 1 of the paper, verbatim.
+[[nodiscard]] std::string_view oac_name(OacCluster cluster);
+[[nodiscard]] std::string_view oac_definition(OacCluster cluster);
+
+// Behavioural descriptors used by the synthetic population and mobility
+// models. These encode the paper's qualitative statements about the
+// clusters (Sections 3.3 and 4.4): rural areas have higher-than-average
+// gyration; cosmopolitan / ethnicity-central areas have high entropy but
+// small daily ranges; cosmopolitan areas host far more visitors (workers,
+// students, tourists) than residents; etc.
+struct OacTraits {
+  // Multiplier on the typical daily travel range (gyration proxy), 1 = UK avg.
+  double range_factor = 1.0;
+  // Multiplier on the number/evenness of distinct places visited per day
+  // (entropy proxy), 1 = UK avg.
+  double variety_factor = 1.0;
+  // Ratio of daytime visitor population to resident population.
+  double visitor_ratio = 1.0;
+  // Fraction of residents that are "seasonal" (students, long-stay tourists)
+  // and likely to leave during a lockdown.
+  double seasonal_fraction = 0.0;
+  // Fraction of resident workers who can work from home under advice.
+  double wfh_capable = 0.5;
+};
+
+[[nodiscard]] const OacTraits& oac_traits(OacCluster cluster);
+
+}  // namespace cellscope::geo

@@ -1,0 +1,392 @@
+#include "geo/uk_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cellscope::geo {
+
+namespace {
+
+struct CountySpec {
+  std::string_view name;
+  Region region;
+  LatLon center;
+  UrbanProfile profile;
+  std::int64_t population;
+  double getaway;
+  // Cluster mix for procedurally generated districts (ignored for Inner
+  // London, which is hand-built). Order matches OacCluster.
+  std::array<double, kOacClusterCount> cluster_weights;
+};
+
+// Column order of cluster_weights:
+//   Rural, Cosmo, EthCentral, MultiMetro, Urbanites, Suburb, Constrained, HardPressed
+constexpr std::array<CountySpec, 15> kCounties = {{
+    {"Inner London", Region::kInnerLondon, {51.515, -0.09},
+     UrbanProfile::kMetroCore, 3'200'000, 0.0,
+     {0, 0, 0, 0, 0, 0, 0, 0}},  // hand-built
+    {"Outer London", Region::kOuterLondon, {51.55, -0.25},
+     UrbanProfile::kMetro, 5'200'000, 0.0,
+     {0.00, 0.02, 0.04, 0.42, 0.18, 0.26, 0.08, 0.00}},
+    {"Greater Manchester", Region::kGreaterManchester, {53.48, -2.24},
+     UrbanProfile::kMetro, 2'800'000, 0.0,
+     {0.00, 0.08, 0.03, 0.28, 0.12, 0.16, 0.14, 0.19}},
+    {"West Midlands", Region::kWestMidlands, {52.48, -1.90},
+     UrbanProfile::kMetro, 2'900'000, 0.0,
+     {0.00, 0.06, 0.04, 0.32, 0.10, 0.16, 0.14, 0.18}},
+    {"West Yorkshire", Region::kWestYorkshire, {53.80, -1.55},
+     UrbanProfile::kMetro, 2'300'000, 0.0,
+     {0.02, 0.06, 0.02, 0.24, 0.12, 0.18, 0.14, 0.22}},
+    {"Hampshire", Region::kRestOfUk, {51.06, -1.31}, UrbanProfile::kTown,
+     1'800'000, 1.00,
+     {0.16, 0.01, 0.00, 0.06, 0.30, 0.34, 0.05, 0.08}},
+    {"Kent", Region::kRestOfUk, {51.28, 0.52}, UrbanProfile::kTown,
+     1'800'000, 0.70,
+     {0.14, 0.01, 0.00, 0.08, 0.26, 0.32, 0.07, 0.12}},
+    {"Essex", Region::kRestOfUk, {51.73, 0.47}, UrbanProfile::kTown,
+     1'800'000, 0.40,
+     {0.10, 0.01, 0.00, 0.10, 0.28, 0.34, 0.07, 0.10}},
+    {"Surrey", Region::kRestOfUk, {51.24, -0.57}, UrbanProfile::kTown,
+     1'200'000, 0.40,
+     {0.10, 0.02, 0.00, 0.06, 0.36, 0.40, 0.03, 0.03}},
+    {"East Sussex", Region::kRestOfUk, {50.92, 0.25}, UrbanProfile::kRural,
+     850'000, 0.80,
+     {0.34, 0.01, 0.00, 0.03, 0.26, 0.26, 0.05, 0.05}},
+    {"Hertfordshire", Region::kRestOfUk, {51.81, -0.20}, UrbanProfile::kTown,
+     1'200'000, 0.30,
+     {0.10, 0.01, 0.00, 0.10, 0.34, 0.36, 0.04, 0.05}},
+    {"Berkshire", Region::kRestOfUk, {51.45, -0.97}, UrbanProfile::kTown,
+     900'000, 0.25,
+     {0.08, 0.02, 0.00, 0.10, 0.38, 0.34, 0.04, 0.04}},
+    {"Lancashire", Region::kRestOfUk, {53.76, -2.70}, UrbanProfile::kTown,
+     1'500'000, 0.10,
+     {0.14, 0.01, 0.00, 0.08, 0.22, 0.26, 0.09, 0.20}},
+    {"Devon", Region::kRestOfUk, {50.72, -3.53}, UrbanProfile::kRural,
+     800'000, 0.50,
+     {0.44, 0.01, 0.00, 0.02, 0.22, 0.22, 0.04, 0.05}},
+    {"Norfolk", Region::kRestOfUk, {52.63, 1.30}, UrbanProfile::kRural,
+     900'000, 0.45,
+     {0.42, 0.01, 0.00, 0.02, 0.22, 0.22, 0.05, 0.06}},
+}};
+
+// Hand-built Inner London: the eight postal areas become LADs; each postal
+// area contains numbered postcode districts (EC1.., N1..). Residents follow
+// the paper's Section 5.1 contrast (EC ~30k vs SW ~400k).
+struct LondonAreaSpec {
+  std::string_view name;
+  std::int64_t residents;
+  int district_count;
+  double job_weight;      // per-district daytime work pull
+  double visitor_weight;  // per-district leisure/tourist pull
+  double east_km;         // offset of the area centre from the county centre
+  double north_km;
+  // Cluster counts: cosmopolitans / ethnicity-central / multicultural.
+  int n_cosmo;
+  int n_eth;
+  int n_multi;
+};
+
+// 25 districts total: 11 Cosmopolitans (44%), 13 Ethnicity Central (52%),
+// 1 Multicultural Metropolitans (4%) — matching Section 4.4's "~45% of
+// postcode areas cluster within Cosmopolitans, ~50% in Ethnicity Central".
+constexpr std::array<LondonAreaSpec, 8> kLondonAreas = {{
+    {"EC", 30'000, 2, 14.0, 9.0, 1.2, 0.4, 2, 0, 0},
+    {"WC", 25'000, 1, 11.0, 13.0, -0.6, 0.5, 1, 0, 0},
+    {"N", 360'000, 4, 0.8, 0.7, 0.5, 6.0, 1, 3, 0},
+    {"E", 420'000, 4, 1.1, 0.9, 5.5, 1.0, 0, 3, 1},
+    {"SE", 430'000, 4, 0.7, 0.7, 3.5, -5.0, 1, 3, 0},
+    {"SW", 400'000, 4, 0.9, 1.0, -3.5, -4.5, 3, 1, 0},
+    {"W", 380'000, 3, 1.3, 1.6, -5.0, 0.5, 2, 1, 0},
+    {"NW", 340'000, 3, 0.8, 0.7, -3.0, 5.0, 1, 2, 0},
+}};
+
+struct ClusterEconomics {
+  double job_weight;
+  double visitor_weight;
+};
+
+// Daytime pulls per cluster for procedurally generated districts.
+constexpr std::array<ClusterEconomics, kOacClusterCount> kClusterEconomics = {{
+    {0.30, 0.70},  // Rural Residents (leisure visitors)
+    {5.00, 4.00},  // Cosmopolitans (city cores)
+    {1.30, 1.20},  // Ethnicity Central
+    {0.80, 0.70},  // Multicultural Metropolitans
+    {0.90, 0.80},  // Urbanites
+    {0.40, 0.40},  // Suburbanites
+    {0.50, 0.40},  // Constrained City Dwellers
+    {0.50, 0.40},  // Hard-pressed Living
+}};
+
+double lad_ring_radius_km(UrbanProfile profile) {
+  switch (profile) {
+    case UrbanProfile::kMetroCore: return 5.0;
+    case UrbanProfile::kMetro: return 10.0;
+    case UrbanProfile::kTown: return 22.0;
+    case UrbanProfile::kRural: return 32.0;
+  }
+  return 20.0;
+}
+
+double district_radius_km(UrbanProfile profile) {
+  switch (profile) {
+    case UrbanProfile::kMetroCore: return 1.6;
+    case UrbanProfile::kMetro: return 2.5;
+    case UrbanProfile::kTown: return 4.0;
+    case UrbanProfile::kRural: return 7.0;
+  }
+  return 3.0;
+}
+
+}  // namespace
+
+std::string_view region_name(Region region) {
+  switch (region) {
+    case Region::kInnerLondon: return "Inner London";
+    case Region::kOuterLondon: return "Outer London";
+    case Region::kGreaterManchester: return "Greater Manchester";
+    case Region::kWestMidlands: return "West Midlands";
+    case Region::kWestYorkshire: return "West Yorkshire";
+    case Region::kRestOfUk: return "Rest of UK";
+  }
+  return "?";
+}
+
+UkGeography UkGeography::build(const GeographyConfig& config) {
+  if (config.population_scale <= 0.0)
+    throw std::invalid_argument("GeographyConfig: population_scale must be > 0");
+
+  UkGeography g;
+  Rng rng{config.seed};
+  Rng layout_rng = rng.fork("geo-layout");
+
+  for (std::size_t ci = 0; ci < kCounties.size(); ++ci) {
+    const CountySpec& spec = kCounties[ci];
+    CountyInfo county;
+    county.id = CountyId{static_cast<std::uint32_t>(ci)};
+    county.name = std::string{spec.name};
+    county.region = spec.region;
+    county.center = spec.center;
+    county.profile = spec.profile;
+    county.census_population = static_cast<std::int64_t>(
+        std::llround(double(spec.population) * config.population_scale));
+    county.getaway_attraction = spec.getaway;
+    g.counties_.push_back(county);
+
+    if (spec.profile == UrbanProfile::kMetroCore) {
+      // --- Hand-built Inner London ---
+      for (const LondonAreaSpec& area : kLondonAreas) {
+        LadInfo lad;
+        lad.id = LadId{static_cast<std::uint32_t>(g.lads_.size())};
+        lad.name = std::string{area.name};
+        lad.county = county.id;
+        lad.census_population = static_cast<std::int64_t>(
+            std::llround(double(area.residents) * config.population_scale));
+        const LatLon area_center =
+            offset_km(spec.center, area.east_km, area.north_km);
+
+        // Cluster sequence for this area's numbered districts.
+        std::vector<OacCluster> seq;
+        seq.insert(seq.end(), area.n_cosmo, OacCluster::kCosmopolitans);
+        seq.insert(seq.end(), area.n_eth, OacCluster::kEthnicityCentral);
+        seq.insert(seq.end(), area.n_multi,
+                   OacCluster::kMulticulturalMetropolitans);
+        assert(static_cast<int>(seq.size()) == area.district_count);
+
+        // Cosmopolitan districts are the business/commercial/student cores:
+        // far more daytime visitors than residents. Weight the resident
+        // split away from them and boost their daytime pull.
+        double share_total = 0.0;
+        std::vector<double> resident_share(
+            static_cast<std::size_t>(area.district_count));
+        for (int d = 0; d < area.district_count; ++d) {
+          resident_share[static_cast<std::size_t>(d)] =
+              seq[static_cast<std::size_t>(d)] == OacCluster::kCosmopolitans
+                  ? 0.42
+                  : 1.0;
+          share_total += resident_share[static_cast<std::size_t>(d)];
+        }
+        std::int64_t assigned = 0;
+        for (int d = 0; d < area.district_count; ++d) {
+          DistrictInfo info;
+          info.id =
+              PostcodeDistrictId{static_cast<std::uint32_t>(g.districts_.size())};
+          info.name = std::string{area.name} + std::to_string(d + 1);
+          info.lad = lad.id;
+          info.county = county.id;
+          info.region = spec.region;
+          const double angle = 2.0 * std::numbers::pi * d /
+                               std::max(1, area.district_count);
+          info.center = offset_km(area_center, 1.8 * std::cos(angle),
+                                  1.8 * std::sin(angle));
+          info.radius_km = district_radius_km(spec.profile);
+          info.residents = static_cast<std::int64_t>(
+              double(lad.census_population) *
+              resident_share[static_cast<std::size_t>(d)] / share_total);
+          assigned += info.residents;
+          info.cluster = seq[static_cast<std::size_t>(d)];
+          // Central-London character: Cosmopolitan districts are dominated
+          // by daytime visitors; Ethnicity Central districts also attract a
+          // sizable worker/visitor inflow (Table 1: "denser central areas").
+          const bool cosmo = info.cluster == OacCluster::kCosmopolitans;
+          const bool eth = info.cluster == OacCluster::kEthnicityCentral;
+          info.job_weight = area.job_weight * (cosmo ? 4.0 : eth ? 1.6 : 1.0);
+          info.visitor_weight =
+              area.visitor_weight * (cosmo ? 3.0 : eth ? 1.5 : 1.0);
+          g.districts_.push_back(std::move(info));
+        }
+        lad.census_population = assigned;
+        g.lads_.push_back(std::move(lad));
+      }
+      continue;
+    }
+
+    // --- Procedural counties ---
+    const int lad_count = std::max<int>(
+        1, static_cast<int>(std::llround(double(county.census_population) /
+                                         (500'000.0 * config.population_scale))));
+    // Random-but-normalized LAD population shares (flat Dirichlet via
+    // exponentials).
+    std::vector<double> shares(static_cast<std::size_t>(lad_count));
+    double share_total = 0.0;
+    for (auto& s : shares) {
+      s = layout_rng.exponential(1.0) + 0.3;
+      share_total += s;
+    }
+
+    const DiscreteSampler cluster_sampler{
+        std::span<const double>(spec.cluster_weights)};
+    const double ring = lad_ring_radius_km(spec.profile);
+
+    for (int li = 0; li < lad_count; ++li) {
+      LadInfo lad;
+      lad.id = LadId{static_cast<std::uint32_t>(g.lads_.size())};
+      lad.name = std::string{spec.name} + " LAD-" + std::to_string(li + 1);
+      lad.county = county.id;
+      lad.census_population = static_cast<std::int64_t>(std::llround(
+          double(county.census_population) *
+          shares[static_cast<std::size_t>(li)] / share_total));
+      const double angle = 2.0 * std::numbers::pi * li / lad_count;
+      const double r = li == 0 ? 0.0 : ring * (0.5 + 0.5 * layout_rng.uniform());
+      const LatLon lad_center =
+          offset_km(spec.center, r * std::cos(angle), r * std::sin(angle));
+
+      const int district_count = 2 + static_cast<int>(layout_rng.uniform_index(2));
+      const std::int64_t per_district =
+          lad.census_population / district_count;
+      lad.census_population = per_district * district_count;
+      for (int d = 0; d < district_count; ++d) {
+        DistrictInfo info;
+        info.id =
+            PostcodeDistrictId{static_cast<std::uint32_t>(g.districts_.size())};
+        info.name = std::string{spec.name.substr(0, 2)} + "-" +
+                    std::to_string(li + 1) + "-" + std::to_string(d + 1);
+        info.lad = lad.id;
+        info.county = county.id;
+        info.region = spec.region;
+        const double da = 2.0 * std::numbers::pi * d / district_count;
+        const double dr = (spec.profile == UrbanProfile::kRural ? 9.0 : 4.0) *
+                          (0.4 + 0.6 * layout_rng.uniform());
+        info.center =
+            offset_km(lad_center, dr * std::cos(da), dr * std::sin(da));
+        info.radius_km = district_radius_km(spec.profile);
+        info.residents = per_district;
+
+        // The first district of the first LAD of a metro county is the city
+        // core: force Cosmopolitans there so conurbations have a centre.
+        if (spec.profile == UrbanProfile::kMetro && li == 0 && d == 0) {
+          info.cluster = OacCluster::kCosmopolitans;
+        } else {
+          info.cluster = static_cast<OacCluster>(
+              cluster_sampler.sample(layout_rng));
+        }
+        const ClusterEconomics& econ =
+            kClusterEconomics[static_cast<int>(info.cluster)];
+        info.job_weight = econ.job_weight;
+        info.visitor_weight =
+            econ.visitor_weight *
+            (info.cluster == OacCluster::kRuralResidents
+                 ? (1.0 + 1.5 * county.getaway_attraction)
+                 : 1.0);
+        g.districts_.push_back(std::move(info));
+      }
+      g.lads_.push_back(std::move(lad));
+    }
+  }
+
+  // Make the hierarchy exactly consistent (rounding during the splits):
+  // county census = sum of its LADs = sum of its districts.
+  for (auto& county : g.counties_) county.census_population = 0;
+  for (const auto& lad : g.lads_)
+    g.counties_[lad.county.value()].census_population +=
+        lad.census_population;
+  return g;
+}
+
+const CountyInfo& UkGeography::county(CountyId id) const {
+  return counties_.at(id.value());
+}
+const LadInfo& UkGeography::lad(LadId id) const { return lads_.at(id.value()); }
+const DistrictInfo& UkGeography::district(PostcodeDistrictId id) const {
+  return districts_.at(id.value());
+}
+
+std::optional<CountyId> UkGeography::county_by_name(
+    std::string_view name) const {
+  for (const auto& c : counties_)
+    if (c.name == name) return c.id;
+  return std::nullopt;
+}
+
+std::optional<PostcodeDistrictId> UkGeography::district_by_name(
+    std::string_view name) const {
+  for (const auto& d : districts_)
+    if (d.name == name) return d.id;
+  return std::nullopt;
+}
+
+std::vector<PostcodeDistrictId> UkGeography::districts_in(LadId lad) const {
+  std::vector<PostcodeDistrictId> out;
+  for (const auto& d : districts_)
+    if (d.lad == lad) out.push_back(d.id);
+  return out;
+}
+
+std::vector<PostcodeDistrictId> UkGeography::districts_in(
+    CountyId county) const {
+  std::vector<PostcodeDistrictId> out;
+  for (const auto& d : districts_)
+    if (d.county == county) out.push_back(d.id);
+  return out;
+}
+
+std::vector<PostcodeDistrictId> UkGeography::districts_in(
+    Region region) const {
+  std::vector<PostcodeDistrictId> out;
+  for (const auto& d : districts_)
+    if (d.region == region) out.push_back(d.id);
+  return out;
+}
+
+Region UkGeography::region_of(CountyId county_id) const {
+  return county(county_id).region;
+}
+
+std::int64_t UkGeography::census_total() const {
+  std::int64_t total = 0;
+  for (const auto& c : counties_) total += c.census_population;
+  return total;
+}
+
+std::vector<double> UkGeography::resident_weights() const {
+  std::vector<double> weights(districts_.size(), 0.0);
+  for (const auto& d : districts_)
+    weights[d.id.value()] = static_cast<double>(d.residents);
+  return weights;
+}
+
+}  // namespace cellscope::geo

@@ -1,0 +1,80 @@
+// Synthetic UK geography.
+//
+// Builds a deterministic, internally consistent stand-in for the UK datasets
+// the paper joins against: the NSPL postcode lookup, the LAD/county/region
+// hierarchy, ONS census populations and the 2011 OAC cluster labels.
+//
+// The model is topologically faithful rather than geometrically exact:
+//  * the 15 counties carry (approximately) real names, centroids, census
+//    populations and density profiles;
+//  * Inner London's postcode districts are the eight real postal areas
+//    (EC, WC, N, E, SE, SW, W, NW) with the paper's stated contrasts (EC has
+//    ~30k residents vs ~400k in SW, EC/WC are business/tourist-heavy);
+//  * OAC supergroup mixes match the paper's statements (Inner London is
+//    ~45% Cosmopolitans + ~50% Ethnicity Central; the named getaway
+//    counties host Rural Residents / Suburbanites).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/admin.h"
+
+namespace cellscope::geo {
+
+struct GeographyConfig {
+  // Scales every census population (1.0 = the built-in ~29M-person UK
+  // subset). Lowering it shrinks district counts proportionally.
+  double population_scale = 1.0;
+  // RNG stream for procedural LAD/district layout outside Inner London.
+  std::uint64_t seed = 2020;
+};
+
+class UkGeography {
+ public:
+  // Builds the full synthetic UK.
+  static UkGeography build(const GeographyConfig& config = {});
+
+  [[nodiscard]] const std::vector<CountyInfo>& counties() const {
+    return counties_;
+  }
+  [[nodiscard]] const std::vector<LadInfo>& lads() const { return lads_; }
+  [[nodiscard]] const std::vector<DistrictInfo>& districts() const {
+    return districts_;
+  }
+
+  [[nodiscard]] const CountyInfo& county(CountyId id) const;
+  [[nodiscard]] const LadInfo& lad(LadId id) const;
+  [[nodiscard]] const DistrictInfo& district(PostcodeDistrictId id) const;
+
+  [[nodiscard]] std::optional<CountyId> county_by_name(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<PostcodeDistrictId> district_by_name(
+      std::string_view name) const;
+
+  // Districts of one LAD / county / region, in id order.
+  [[nodiscard]] std::vector<PostcodeDistrictId> districts_in(LadId lad) const;
+  [[nodiscard]] std::vector<PostcodeDistrictId> districts_in(
+      CountyId county) const;
+  [[nodiscard]] std::vector<PostcodeDistrictId> districts_in(
+      Region region) const;
+
+  [[nodiscard]] Region region_of(CountyId county) const;
+
+  // Total synthetic census population.
+  [[nodiscard]] std::int64_t census_total() const;
+
+  // Fraction of the national census population resident in each district;
+  // used to place subscribers (index = district id value).
+  [[nodiscard]] std::vector<double> resident_weights() const;
+
+ private:
+  std::vector<CountyInfo> counties_;
+  std::vector<LadInfo> lads_;
+  std::vector<DistrictInfo> districts_;
+};
+
+}  // namespace cellscope::geo

@@ -1,0 +1,140 @@
+#include "mobility/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellscope::mobility {
+
+EpidemicCurve::EpidemicCurve(double plateau, double growth_rate,
+                             SimDay midpoint)
+    : plateau_(plateau), growth_rate_(growth_rate), midpoint_(midpoint) {}
+
+double EpidemicCurve::cumulative_cases(SimDay day) const {
+  return plateau_ /
+         (1.0 + std::exp(-growth_rate_ * static_cast<double>(day - midpoint_)));
+}
+
+PolicyTimeline::PolicyTimeline(const PolicyParams& params) : params_(params) {}
+
+PolicyPhase PolicyTimeline::phase(SimDay day) const {
+  if (day < params_.advice_day) return PolicyPhase::kBaseline;
+  if (!params_.lockdown_enabled || day < params_.lockdown_day)
+    return PolicyPhase::kVoluntary;
+  return PolicyPhase::kLockdown;
+}
+
+bool PolicyTimeline::schools_open(SimDay day) const {
+  return day < params_.closure_day;
+}
+
+bool PolicyTimeline::venues_open(SimDay day) const {
+  return day < params_.closure_day;
+}
+
+bool PolicyTimeline::wfh_advised(SimDay day) const {
+  return day >= params_.advice_day;
+}
+
+double PolicyTimeline::mobility_suppression(SimDay day,
+                                            geo::Region region) const {
+  // Behavioural schedule anchored on the milestone days, so shifting the
+  // milestones shifts behaviour coherently. With the default anchors this
+  // reproduces the paper's weekly pattern: -20% gyration in week 12, the
+  // steep weeks-13/14 drop, marginal relaxation from week 15 and the
+  // weeks-18/19 regional split.
+  // The order dominates whatever voluntary stage it lands on (an early
+  // counterfactual order can predate the closures).
+  const bool ordered =
+      params_.lockdown_enabled && day >= params_.lockdown_day;
+  double suppression = 0.0;
+  if (!ordered) {
+    if (day < timeline::kPandemicDeclared) {
+      suppression = 0.0;
+    } else if (day < params_.advice_day) {
+      suppression = 0.05;  // mild voluntary caution after the declaration
+    } else if (day < params_.closure_day) {
+      suppression = 0.22;  // WFH advice in force
+    } else {
+      suppression = 0.35;  // venues shut, no order yet
+    }
+  } else {
+    const SimDay since_order = day - params_.lockdown_day;
+    if (since_order < 14) {
+      suppression = 0.90;  // strict stay-at-home
+    } else if (since_order < 35) {
+      suppression = 0.84;  // "mobility marginally increasing" (Sec 3.1)
+    } else if (params_.regional_relaxation) {
+      // Regional relaxation (Section 3.2) — London and West Yorkshire
+      // relax; Greater Manchester / West Midlands stay low.
+      switch (region) {
+        case geo::Region::kInnerLondon:
+        case geo::Region::kOuterLondon:
+        case geo::Region::kWestYorkshire:
+          suppression = 0.68;
+          break;
+        case geo::Region::kGreaterManchester:
+        case geo::Region::kWestMidlands:
+          suppression = 0.86;
+          break;
+        case geo::Region::kRestOfUk:
+          suppression = 0.80;
+          break;
+      }
+    } else {
+      suppression = 0.84;
+    }
+  }
+  return std::clamp(suppression * params_.suppression_scale, 0.0, 0.98);
+}
+
+bool PolicyTimeline::relocation_window(SimDay day) const {
+  const SimDay window_end = params_.lockdown_enabled
+                                ? params_.lockdown_day
+                                : params_.advice_day + kDaysPerWeek;
+  return day >= params_.advice_day && day <= window_end;
+}
+
+bool PolicyTimeline::pre_lockdown_rush(SimDay day) const {
+  // The weekend immediately before the order (21-22 March by default).
+  if (!params_.lockdown_enabled) return false;
+  return (day == params_.lockdown_day - 2 ||
+          day == params_.lockdown_day - 1) &&
+         is_weekend(day);
+}
+
+double PolicyTimeline::voice_demand_multiplier(SimDay day) const {
+  // Fig 9: voice volume already climbs in weeks 10-11 (enough to congest the
+  // inter-MNO trunks), spikes around week 12 (+140% median) and stays
+  // elevated for the rest of the period. The surge tracks the pandemic news
+  // cycle (not the orders), so it stays week-keyed.
+  const int week = iso_week(day);
+  double multiplier = 1.0;
+  if (week > 9) {
+    switch (week) {
+      case 10: multiplier = 1.25; break;
+      case 11: multiplier = 1.45; break;
+      case 12: multiplier = 1.90; break;
+      case 13: multiplier = 1.82; break;
+      case 14: multiplier = 1.72; break;
+      case 15: multiplier = 1.62; break;
+      case 16: multiplier = 1.56; break;
+      default: multiplier = 1.50; break;
+    }
+  }
+  return 1.0 + params_.voice_surge_scale * (multiplier - 1.0);
+}
+
+double PolicyTimeline::data_demand_multiplier(SimDay day) const {
+  switch (iso_week(day)) {
+    case 10: return 1.08;
+    case 11: return 1.06;
+    default: return 1.0;
+  }
+}
+
+bool PolicyTimeline::content_throttling(SimDay day) const {
+  // Major video platforms reduced EU streaming quality around 20 March.
+  return day >= params_.closure_day;
+}
+
+}  // namespace cellscope::mobility

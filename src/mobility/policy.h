@@ -1,0 +1,113 @@
+// COVID-19 intervention timeline and epidemic curve.
+//
+// The paper's narrative (Section 1) pins the UK timeline: pandemic declared
+// 11 March (week 11), work-from-home advice 16 March and venue/school
+// closures 20 March (week 12), full stay-at-home order 23 March (week 13),
+// slight relaxation from week 15 and clearer regional relaxation in weeks
+// 18-19 (London, West Yorkshire). PolicyTimeline turns that narrative into
+// per-day behavioural knobs that the trajectory, traffic and voice models
+// consume; EpidemicCurve supplies the cumulative-cases series that Fig 4
+// correlates (or rather, fails to correlate) with mobility.
+//
+// The timeline is parameterized (PolicyParams) so counterfactuals can be
+// simulated — no lockdown, an earlier order, no regional relaxation —
+// without touching the behavioural models. Defaults reproduce the paper.
+#pragma once
+
+#include "common/simtime.h"
+#include "geo/admin.h"
+
+namespace cellscope::mobility {
+
+enum class PolicyPhase {
+  kBaseline = 0,   // up to the WFH advice: business as usual
+  kVoluntary,      // advice + closures, no order yet
+  kLockdown,       // stay-at-home order in force
+};
+
+// Cumulative lab-confirmed case curve: logistic, calibrated so that the
+// pandemic-declaration day coincides with ~1,000 cumulative cases (the red
+// line of Fig 4) and the early-May total lands near the reported ~190k.
+class EpidemicCurve {
+ public:
+  EpidemicCurve(double plateau = 250'000.0, double growth_rate = 0.12,
+                SimDay midpoint = 83);
+
+  [[nodiscard]] double cumulative_cases(SimDay day) const;
+
+ private:
+  double plateau_;
+  double growth_rate_;
+  SimDay midpoint_;
+};
+
+// Counterfactual knobs. Defaults = the UK's actual 2020 timeline.
+struct PolicyParams {
+  // Government milestones (sim days). Shift them to study earlier/later
+  // interventions; the behavioural schedule follows the anchors.
+  SimDay advice_day = timeline::kWorkFromHomeAdvice;   // WFH advice
+  SimDay closure_day = timeline::kVenueClosures;       // schools/venues shut
+  SimDay lockdown_day = timeline::kLockdownOrder;      // stay-at-home order
+  // Disable the order entirely (voluntary measures only).
+  bool lockdown_enabled = true;
+  // Scales every suppression level (1 = paper; 0 = nobody complies).
+  double suppression_scale = 1.0;
+  // Weeks-18/19 London / West Yorkshire relaxation (Section 3.2).
+  bool regional_relaxation = true;
+  // Scales the voice surge above baseline: multiplier' = 1 + s*(m - 1).
+  double voice_surge_scale = 1.0;
+};
+
+class PolicyTimeline {
+ public:
+  PolicyTimeline() = default;
+  explicit PolicyTimeline(const PolicyParams& params);
+
+  [[nodiscard]] PolicyPhase phase(SimDay day) const;
+
+  // Are schools / universities and leisure venues (bars, gyms, restaurants)
+  // open on this day?
+  [[nodiscard]] bool schools_open(SimDay day) const;
+  [[nodiscard]] bool venues_open(SimDay day) const;
+  // Has the government advised working from home?
+  [[nodiscard]] bool wfh_advised(SimDay day) const;
+
+  // How strongly people suppress non-essential mobility on this day, in
+  // [0, 1]: 0 = normal life, 1 = total immobility. Regional: the paper finds
+  // London and West Yorkshire relax in weeks 18-19 while Greater Manchester
+  // and the West Midlands stay locked down (Section 3.2).
+  [[nodiscard]] double mobility_suppression(SimDay day,
+                                            geo::Region region) const;
+
+  // True during the short window (WFH advice .. lockdown order) in which
+  // people decide to temporarily relocate (students leaving campuses,
+  // second-home moves: Section 3.4).
+  [[nodiscard]] bool relocation_window(SimDay day) const;
+
+  // True on the weekend immediately before the order: the paper observes a
+  // rush of trips from Inner London to coastal counties (East Sussex) just
+  // before the stay-at-home order (Fig 7).
+  [[nodiscard]] bool pre_lockdown_rush(SimDay day) const;
+
+  // Voice-appetite multiplier: people under restrictions hold many more /
+  // longer conversational calls (Fig 9: +140% median volume around wk 12).
+  [[nodiscard]] double voice_demand_multiplier(SimDay day) const;
+
+  // Data-appetite multipliers observed by content providers: from week 12
+  // major video platforms reduced streaming quality in Europe, capping
+  // per-user throughput ("application limited", Section 4.1).
+  [[nodiscard]] bool content_throttling(SimDay day) const;
+
+  // News-driven data-appetite bump in the run-up weeks (Fig 8 shows +8%
+  // DL volume in week 10 before any restriction).
+  [[nodiscard]] double data_demand_multiplier(SimDay day) const;
+
+  [[nodiscard]] const EpidemicCurve& epidemic() const { return epidemic_; }
+  [[nodiscard]] const PolicyParams& params() const { return params_; }
+
+ private:
+  PolicyParams params_;
+  EpidemicCurve epidemic_;
+};
+
+}  // namespace cellscope::mobility

@@ -1,0 +1,105 @@
+#include "mobility/relocation.h"
+
+#include <algorithm>
+
+namespace cellscope::mobility {
+
+using population::Archetype;
+
+RelocationModel::RelocationModel(const geo::UkGeography& geography,
+                                 const PolicyTimeline& policy,
+                                 const RelocationParams& params)
+    : geography_(geography), policy_(policy), params_(params) {
+  for (const auto& county : geography.counties()) {
+    family_counties_.push_back(county.id);
+    family_weights_.push_back(static_cast<double>(county.census_population));
+  }
+}
+
+RelocationOutcome RelocationModel::maybe_decide(
+    const population::Subscriber& user, UserPlaces& places, UserState& state,
+    SimDay day, Rng& rng) const {
+  if (state.relocation_decided || !policy_.relocation_window(day))
+    return RelocationOutcome::kStay;
+
+  // Spread decisions across the window: each user decides on a fixed day
+  // derived from their id, so re-running a day is idempotent. The window
+  // follows the policy's configured milestones (counterfactual timelines
+  // shift it).
+  const SimDay window_start = policy_.params().advice_day;
+  const SimDay window_end = policy_.params().lockdown_enabled
+                                ? policy_.params().lockdown_day
+                                : window_start + kDaysPerWeek;
+  const SimDay window_len = std::max<SimDay>(1, window_end - window_start + 1);
+  const SimDay decision_day =
+      window_start + static_cast<SimDay>(user.id.value() %
+                                         static_cast<std::uint32_t>(window_len));
+  if (day != decision_day) return RelocationOutcome::kStay;
+  state.relocation_decided = true;
+
+  auto outcome = RelocationOutcome::kStay;
+  switch (user.archetype) {
+    case Archetype::kSeasonalResident: {
+      const double leave =
+          user.native ? params_.seasonal_leave : params_.roamer_leave;
+      const double relocate = user.native ? params_.seasonal_relocate : 0.0;
+      const double u = rng.uniform();
+      if (u < leave) {
+        outcome = RelocationOutcome::kLeaveNetwork;
+      } else if (u < leave + relocate) {
+        outcome = RelocationOutcome::kRelocate;
+      }
+      break;
+    }
+    case Archetype::kStudent: {
+      // Students whose campus just closed head to the family home if it is
+      // in another county.
+      if (rng.chance(params_.student_relocate))
+        outcome = RelocationOutcome::kRelocate;
+      break;
+    }
+    default: {
+      if (user.second_home && places.has_refuge() &&
+          rng.chance(params_.second_home_relocate))
+        outcome = RelocationOutcome::kRelocate;
+      break;
+    }
+  }
+
+  if (outcome == RelocationOutcome::kLeaveNetwork) {
+    state.departed = true;
+    return outcome;
+  }
+  if (outcome != RelocationOutcome::kRelocate) return outcome;
+
+  // Materialize a refuge if the user does not have one yet (students,
+  // seasonal residents): a family home in another county, drawn
+  // census-proportionally.
+  if (!places.has_refuge()) {
+    CountyId county = user.home_county;
+    for (int attempt = 0; attempt < 8 && county == user.home_county;
+         ++attempt) {
+      county = family_counties_[rng.categorical(family_weights_)];
+    }
+    if (county == user.home_county) {
+      state.relocation_decided = true;
+      return RelocationOutcome::kStay;  // no plausible refuge found
+    }
+    const auto districts = geography_.districts_in(county);
+    const auto district =
+        districts[rng.uniform_index(districts.size())];
+    const auto& info = geography_.district(district);
+    Place refuge;
+    refuge.kind = PlaceKind::kRefuge;
+    refuge.district = district;
+    refuge.county = info.county;
+    refuge.location = PlacesBuilder::sample_point_in(info, rng);
+    refuge.weight = 1.0;
+    places.places.push_back(refuge);
+    places.refuge_index = static_cast<std::uint8_t>(places.places.size() - 1);
+  }
+  state.relocated = true;
+  return outcome;
+}
+
+}  // namespace cellscope::mobility

@@ -1,0 +1,67 @@
+// Temporary relocation model.
+//
+// Section 3.4 of the paper finds a sustained ~10% drop in the number of
+// Inner London residents present in Inner London from week 13 onward, and
+// names the mechanisms: students leaving campuses after the 19/20 March
+// school closures, long-stay tourists leaving central London, and residents
+// moving to second residences (notably in Hampshire). This model owns those
+// decisions: during the policy's relocation window each candidate rolls
+// once; the outcome either removes the user from the network entirely
+// (left the country) or moves their daily life to a refuge place in another
+// county, where Fig 7's mobility matrix will find them.
+#pragma once
+
+#include "common/rng.h"
+#include "common/simtime.h"
+#include "geo/uk_model.h"
+#include "mobility/place.h"
+#include "mobility/policy.h"
+#include "mobility/trajectory.h"
+#include "population/subscriber.h"
+
+namespace cellscope::mobility {
+
+enum class RelocationOutcome {
+  kStay = 0,       // rides out the lockdown at home
+  kRelocate,       // moves to the refuge place (another county)
+  kLeaveNetwork,   // disappears from the network (left the country etc.)
+};
+
+struct RelocationParams {
+  // Seasonal residents (tourists / temporary residents): most likely to go.
+  double seasonal_leave = 0.35;
+  double seasonal_relocate = 0.08;
+  // Inbound roamers (foreign tourists): flights home, nearly all gone.
+  double roamer_leave = 0.85;
+  // Students: leave campus back to the family home elsewhere.
+  double student_relocate = 0.35;
+  // Second-home owners: decamp to the second residence.
+  double second_home_relocate = 0.25;
+};
+
+class RelocationModel {
+ public:
+  RelocationModel(const geo::UkGeography& geography,
+                  const PolicyTimeline& policy,
+                  const RelocationParams& params = {});
+
+  // Rolls the user's relocation decision if `day` is their decision day
+  // inside the relocation window and none was made yet. May append a refuge
+  // place (student family home) to `places`. Updates `state`.
+  RelocationOutcome maybe_decide(const population::Subscriber& user,
+                                 UserPlaces& places, UserState& state,
+                                 SimDay day, Rng& rng) const;
+
+  [[nodiscard]] const RelocationParams& params() const { return params_; }
+
+ private:
+  const geo::UkGeography& geography_;
+  const PolicyTimeline& policy_;
+  RelocationParams params_;
+  // Family-home county sampler for students (census-proportional across
+  // every county but the student's own).
+  std::vector<CountyId> family_counties_;
+  std::vector<double> family_weights_;
+};
+
+}  // namespace cellscope::mobility

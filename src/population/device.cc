@@ -1,0 +1,114 @@
+#include "population/device.h"
+
+#include <array>
+#include <cmath>
+
+namespace cellscope::population {
+
+namespace {
+constexpr std::array<std::string_view, 10> kSmartphoneVendors = {
+    "Samsung", "Apple",  "Huawei", "Xiaomi", "OnePlus",
+    "Google",  "Sony",   "Nokia",  "Motorola", "Oppo"};
+constexpr std::array<std::string_view, 4> kM2mVendors = {
+    "Telit", "Quectel", "Sierra Wireless", "u-blox"};
+// Zipf exponent for handset model market share (a few models dominate).
+constexpr double kModelShareExponent = 1.05;
+}  // namespace
+
+DeviceCatalog DeviceCatalog::build(std::uint64_t seed, int smartphone_models) {
+  DeviceCatalog catalog;
+  Rng rng{seed};
+  Rng r = rng.fork("device-catalog");
+
+  // Real TACs start with a reporting-body digit; 35 is common. Keep the
+  // numeric shape without colliding with any real allocation scheme.
+  catalog.tac_base_ = 35'000'000;
+
+  const int feature_models = smartphone_models / 8;
+  const int m2m_models = smartphone_models / 5;
+
+  std::vector<double> handset_weights;
+  std::vector<double> m2m_weights;
+
+  auto add_device = [&](DeviceClass cls, int index_in_class) {
+    DeviceInfo info;
+    info.tac = Tac{catalog.tac_base_ +
+                   static_cast<std::uint32_t>(catalog.devices_.size())};
+    info.device_class = cls;
+    switch (cls) {
+      case DeviceClass::kSmartphone: {
+        const auto& vendor =
+            kSmartphoneVendors[r.uniform_index(kSmartphoneVendors.size())];
+        info.vendor = std::string{vendor};
+        info.model = std::string{vendor} + " SP-" +
+                     std::to_string(index_in_class + 1);
+        info.os = vendor == "Apple" ? "iOS" : "Android";
+        break;
+      }
+      case DeviceClass::kFeaturePhone: {
+        info.vendor = "Nokia";
+        info.model = "Feature F-" + std::to_string(index_in_class + 1);
+        info.os = "proprietary";
+        info.supports_4g = false;
+        break;
+      }
+      case DeviceClass::kM2m: {
+        const auto& vendor = kM2mVendors[r.uniform_index(kM2mVendors.size())];
+        info.vendor = std::string{vendor};
+        info.model = std::string{vendor} + " M2M-" +
+                     std::to_string(index_in_class + 1);
+        info.os = "RTOS";
+        break;
+      }
+    }
+    catalog.devices_.push_back(std::move(info));
+  };
+
+  // Smartphones: Zipf-shaped market share over models.
+  for (int i = 0; i < smartphone_models; ++i) {
+    add_device(DeviceClass::kSmartphone, i);
+    catalog.handset_index_.push_back(catalog.devices_.size() - 1);
+    handset_weights.push_back(1.0 /
+                              std::pow(double(i + 1), kModelShareExponent));
+  }
+  // Feature phones: small residual share of the handset market (~3%).
+  double smartphone_total = 0.0;
+  for (const double w : handset_weights) smartphone_total += w;
+  for (int i = 0; i < feature_models; ++i) {
+    add_device(DeviceClass::kFeaturePhone, i);
+    catalog.handset_index_.push_back(catalog.devices_.size() - 1);
+    handset_weights.push_back(0.03 * smartphone_total / feature_models);
+  }
+  // M2M devices: drawn only for M2M SIMs.
+  for (int i = 0; i < m2m_models; ++i) {
+    add_device(DeviceClass::kM2m, i);
+    catalog.m2m_index_.push_back(catalog.devices_.size() - 1);
+    m2m_weights.push_back(1.0 / double(i + 1));
+  }
+
+  catalog.handset_sampler_ = DiscreteSampler{handset_weights};
+  catalog.m2m_sampler_ = DiscreteSampler{m2m_weights};
+  return catalog;
+}
+
+std::optional<DeviceInfo> DeviceCatalog::lookup(Tac tac) const {
+  if (!tac.valid() || tac.value() < tac_base_) return std::nullopt;
+  const auto offset = tac.value() - tac_base_;
+  if (offset >= devices_.size()) return std::nullopt;
+  return devices_[offset];
+}
+
+bool DeviceCatalog::is_smartphone(Tac tac) const {
+  const auto info = lookup(tac);
+  return info && info->device_class == DeviceClass::kSmartphone;
+}
+
+Tac DeviceCatalog::sample_handset(Rng& rng) const {
+  return devices_[handset_index_[handset_sampler_.sample(rng)]].tac;
+}
+
+Tac DeviceCatalog::sample_m2m(Rng& rng) const {
+  return devices_[m2m_index_[m2m_sampler_.sample(rng)]].tac;
+}
+
+}  // namespace cellscope::population

@@ -1,0 +1,67 @@
+// Synthetic GSMA device catalog.
+//
+// The paper joins signaling events against a commercial GSMA database that
+// maps the TAC (first 8 IMEI digits) to device properties, and uses it to
+// keep only smartphones — "likely used as primary devices" — while dropping
+// M2M devices (Section 2.2/2.3). This module synthesizes an equivalent
+// catalog: a fixed population of TACs with vendor/model metadata, a device
+// class, and market-share weights to draw devices for subscribers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace cellscope::population {
+
+enum class DeviceClass : std::uint8_t {
+  kSmartphone = 0,
+  kFeaturePhone,
+  kM2m,  // smart meters, trackers, telematics...
+};
+
+struct DeviceInfo {
+  Tac tac;
+  std::string vendor;
+  std::string model;
+  std::string os;  // "Android", "iOS", "RTOS", "proprietary"
+  DeviceClass device_class = DeviceClass::kSmartphone;
+  // 2G/3G/4G support flags; all smartphones in the catalog support 4G.
+  bool supports_2g = true;
+  bool supports_3g = true;
+  bool supports_4g = true;
+};
+
+class DeviceCatalog {
+ public:
+  // Builds a catalog with the given number of smartphone TAC entries plus
+  // proportional feature-phone and M2M entries. Deterministic in the seed.
+  static DeviceCatalog build(std::uint64_t seed, int smartphone_models = 220);
+
+  [[nodiscard]] const std::vector<DeviceInfo>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::optional<DeviceInfo> lookup(Tac tac) const;
+  [[nodiscard]] bool is_smartphone(Tac tac) const;
+
+  // Draws the TAC for a new human subscriber (smartphone- and
+  // feature-phone-weighted) or for an M2M SIM.
+  [[nodiscard]] Tac sample_handset(Rng& rng) const;
+  [[nodiscard]] Tac sample_m2m(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+ private:
+  std::vector<DeviceInfo> devices_;  // indexed by tac-offset
+  DiscreteSampler handset_sampler_;
+  std::vector<std::size_t> handset_index_;  // sampler slot -> devices_ index
+  DiscreteSampler m2m_sampler_;
+  std::vector<std::size_t> m2m_index_;
+  std::uint32_t tac_base_ = 0;
+};
+
+}  // namespace cellscope::population

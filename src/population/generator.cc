@@ -1,0 +1,242 @@
+#include "population/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace cellscope::population {
+
+namespace {
+// Commuting gravity: workplace attraction decays with distance from home.
+// Rural residents routinely commute much farther than metro dwellers
+// (Section 3.3 / Fig 6a: rural gyration sits above the national average).
+constexpr double kMaxCommuteKm = 60.0;
+// Job capacity of a district per unit of job_weight (people).
+constexpr double kJobsPerWeight = 25'000.0;
+
+double commute_decay_km(geo::UrbanProfile profile) {
+  switch (profile) {
+    case geo::UrbanProfile::kMetroCore: return 9.0;
+    case geo::UrbanProfile::kMetro: return 11.0;
+    case geo::UrbanProfile::kTown: return 16.0;
+    case geo::UrbanProfile::kRural: return 28.0;
+  }
+  return 12.0;
+}
+}  // namespace
+
+std::string_view archetype_name(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kOfficeWorker: return "office worker";
+    case Archetype::kRemoteWorker: return "remote worker";
+    case Archetype::kKeyWorker: return "key worker";
+    case Archetype::kStudent: return "student";
+    case Archetype::kRetiree: return "retiree";
+    case Archetype::kSeasonalResident: return "seasonal resident";
+  }
+  return "?";
+}
+
+std::array<double, kArchetypeCount> archetype_weights(
+    geo::OacCluster cluster) {
+  const geo::OacTraits& traits = geo::oac_traits(cluster);
+  // Student share is the defining feature of Cosmopolitan areas (Table 1);
+  // retirees dominate Suburbanites / Rural Residents.
+  double students = 0.05;
+  double retirees = 0.14;
+  switch (cluster) {
+    case geo::OacCluster::kCosmopolitans: students = 0.22; retirees = 0.04; break;
+    case geo::OacCluster::kEthnicityCentral: students = 0.12; retirees = 0.05; break;
+    case geo::OacCluster::kRuralResidents: students = 0.02; retirees = 0.30; break;
+    case geo::OacCluster::kSuburbanites: students = 0.04; retirees = 0.28; break;
+    case geo::OacCluster::kConstrainedCityDwellers: retirees = 0.20; break;
+    case geo::OacCluster::kHardPressedLiving: retirees = 0.18; break;
+    default: break;
+  }
+  const double seasonal = traits.seasonal_fraction;
+  const double key_workers = 0.18;
+  const double remote = 0.05;
+  double office = 1.0 - students - retirees - seasonal - key_workers - remote;
+  office = std::max(0.05, office);
+
+  return {office, remote, key_workers, students, retirees, seasonal};
+}
+
+PopulationGenerator::PopulationGenerator(const geo::UkGeography& geography,
+                                         const DeviceCatalog& catalog)
+    : geography_(geography), catalog_(catalog) {}
+
+Population PopulationGenerator::generate(const PopulationConfig& config) const {
+  if (config.num_users == 0)
+    throw std::invalid_argument("PopulationConfig: num_users must be > 0");
+
+  Population population;
+  const auto& districts = geography_.districts();
+  Rng root{config.seed};
+  Rng rng = root.fork("population");
+
+  // --- Home placement sampler (census-proportional). ---
+  const DiscreteSampler home_sampler{geography_.resident_weights()};
+
+  // --- Per-district workplace samplers (gravity model). Two variants:
+  // office jobs concentrate in high-job-weight districts (EC towers);
+  // essential jobs (hospitals, logistics, retail) are spread across the
+  // fabric, so key workers keep commuting to ordinary districts during
+  // lockdown rather than into the emptied centres. ---
+  std::vector<DiscreteSampler> work_samplers(districts.size());
+  std::vector<DiscreteSampler> essential_samplers(districts.size());
+  std::vector<std::vector<std::uint32_t>> work_candidates(districts.size());
+  for (const auto& home : districts) {
+    std::vector<double> weights;
+    std::vector<double> essential_weights;
+    auto& candidates = work_candidates[home.id.value()];
+    const double decay =
+        commute_decay_km(geography_.county(home.county).profile);
+    for (const auto& work : districts) {
+      const double d = distance_km(home.center, work.center);
+      if (d > kMaxCommuteKm) continue;
+      const double capacity = work.job_weight * kJobsPerWeight;
+      if (capacity <= 0.0) continue;
+      candidates.push_back(work.id.value());
+      weights.push_back(capacity * std::exp(-d / decay));
+      essential_weights.push_back(std::min(work.job_weight, 1.2) *
+                                  kJobsPerWeight * std::exp(-d / decay));
+    }
+    if (!candidates.empty()) {
+      work_samplers[home.id.value()] = DiscreteSampler{weights};
+      essential_samplers[home.id.value()] = DiscreteSampler{essential_weights};
+    }
+  }
+
+  // --- Getaway-county sampler for second homes. ---
+  std::vector<double> getaway_weights;
+  std::vector<CountyId> getaway_counties;
+  for (const auto& county : geography_.counties()) {
+    if (county.getaway_attraction <= 0.0) continue;
+    getaway_counties.push_back(county.id);
+    getaway_weights.push_back(county.getaway_attraction);
+  }
+  const DiscreteSampler getaway_sampler{getaway_weights};
+
+  const auto next_id = [&] {
+    return UserId{static_cast<std::uint32_t>(population.subscribers.size())};
+  };
+
+  const auto place_user = [&](Subscriber& user,
+                              PostcodeDistrictId district_id) {
+    const auto& district = geography_.district(district_id);
+    user.home_district = district_id;
+    user.home_county = district.county;
+    user.home_region = district.region;
+    user.home_cluster = district.cluster;
+  };
+
+  // --- Native human subscribers. ---
+  for (std::uint32_t i = 0; i < config.num_users; ++i) {
+    Subscriber user;
+    user.id = next_id();
+    user.tac = catalog_.sample_handset(rng);
+    user.native = true;
+    user.smartphone = catalog_.is_smartphone(user.tac);
+    place_user(user, PostcodeDistrictId{static_cast<std::uint32_t>(
+                         home_sampler.sample(rng))});
+
+    const auto weights = archetype_weights(user.home_cluster);
+    user.archetype = static_cast<Archetype>(
+        rng.categorical(std::span<const double>(weights)));
+
+    const bool needs_workplace = user.archetype == Archetype::kOfficeWorker ||
+                                 user.archetype == Archetype::kKeyWorker ||
+                                 user.archetype == Archetype::kStudent;
+    if (needs_workplace) {
+      const auto& sampler = user.archetype == Archetype::kKeyWorker
+                                ? essential_samplers[user.home_district.value()]
+                                : work_samplers[user.home_district.value()];
+      if (!sampler.empty()) {
+        const auto slot = sampler.sample(rng);
+        user.work_district = PostcodeDistrictId{
+            work_candidates[user.home_district.value()][slot]};
+      }
+    }
+    if (user.archetype == Archetype::kOfficeWorker) {
+      user.wfh_capable =
+          rng.chance(geo::oac_traits(user.home_cluster).wfh_capable);
+    } else if (user.archetype == Archetype::kRemoteWorker) {
+      user.wfh_capable = true;
+    }
+
+    // Second homes concentrate among non-student adults; the fraction is
+    // doubled in Inner London (the Fig 7 relocation reservoir: affluent
+    // residents with country/coastal properties).
+    const bool second_home_eligible =
+        user.archetype == Archetype::kOfficeWorker ||
+        user.archetype == Archetype::kRemoteWorker ||
+        user.archetype == Archetype::kRetiree;
+    if (second_home_eligible && !getaway_counties.empty()) {
+      const double p = config.second_home_fraction *
+                       (user.home_region == geo::Region::kInnerLondon ? 2.5
+                                                                      : 1.0);
+      if (rng.chance(p)) {
+        // A "second home" that can host a relocation must be in another
+        // county (an intra-county property would not register in Fig 7).
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const auto county = getaway_counties[getaway_sampler.sample(rng)];
+          if (county == user.home_county) continue;
+          user.second_home = true;
+          user.second_home_county = county;
+          break;
+        }
+      }
+    }
+    population.subscribers.push_back(user);
+  }
+
+  // --- M2M SIMs (dropped by the mobility filter). ---
+  const auto m2m_count = static_cast<std::uint32_t>(
+      std::llround(config.m2m_fraction * config.num_users));
+  for (std::uint32_t i = 0; i < m2m_count; ++i) {
+    Subscriber sim;
+    sim.id = next_id();
+    sim.tac = catalog_.sample_m2m(rng);
+    sim.native = true;
+    sim.smartphone = false;
+    place_user(sim, PostcodeDistrictId{static_cast<std::uint32_t>(
+                        home_sampler.sample(rng))});
+    sim.archetype = Archetype::kRetiree;  // static: M2M devices do not move
+    population.subscribers.push_back(sim);
+  }
+
+  // --- Inbound roamers (dropped by the mobility filter). They cluster in
+  // visitor-heavy districts and behave like seasonal residents. ---
+  std::vector<double> visitor_weights(districts.size(), 0.0);
+  for (const auto& d : districts)
+    visitor_weights[d.id.value()] =
+        d.visitor_weight * static_cast<double>(std::max<std::int64_t>(
+                               d.residents, 10'000));
+  const DiscreteSampler visitor_sampler{visitor_weights};
+  const auto roamer_count = static_cast<std::uint32_t>(
+      std::llround(config.roamer_fraction * config.num_users));
+  for (std::uint32_t i = 0; i < roamer_count; ++i) {
+    Subscriber roamer;
+    roamer.id = next_id();
+    roamer.tac = catalog_.sample_handset(rng);
+    roamer.native = false;
+    roamer.smartphone = catalog_.is_smartphone(roamer.tac);
+    place_user(roamer, PostcodeDistrictId{static_cast<std::uint32_t>(
+                           visitor_sampler.sample(rng))});
+    roamer.archetype = Archetype::kSeasonalResident;
+    population.subscribers.push_back(roamer);
+  }
+
+  return population;
+}
+
+std::size_t Population::eligible_count() const {
+  std::size_t count = 0;
+  for (const auto& s : subscribers)
+    if (s.native && s.smartphone) ++count;
+  return count;
+}
+
+}  // namespace cellscope::population

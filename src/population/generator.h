@@ -1,0 +1,48 @@
+// Population synthesis.
+//
+// Places subscribers on the synthetic UK proportionally to census residents
+// (so that Fig 2's inferred-vs-census comparison can recover the configured
+// market share), assigns behavioural archetypes from the home district's
+// OAC cluster, picks workplaces by a gravity model over district job
+// weights, and sprinkles in the M2M SIMs and inbound roamers that the
+// analysis layer must filter out.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "geo/uk_model.h"
+#include "population/device.h"
+#include "population/subscriber.h"
+
+namespace cellscope::population {
+
+struct PopulationConfig {
+  // Native human subscribers to synthesize.
+  std::uint32_t num_users = 30'000;
+  // Extra SIMs, as fractions of num_users.
+  double m2m_fraction = 0.08;
+  double roamer_fraction = 0.04;
+  // Share of eligible households with access to an out-of-town second home.
+  double second_home_fraction = 0.04;
+  std::uint64_t seed = 2020;
+};
+
+class PopulationGenerator {
+ public:
+  PopulationGenerator(const geo::UkGeography& geography,
+                      const DeviceCatalog& catalog);
+
+  [[nodiscard]] Population generate(const PopulationConfig& config) const;
+
+ private:
+  const geo::UkGeography& geography_;
+  const DeviceCatalog& catalog_;
+};
+
+// Archetype mix for a home district's OAC cluster (order = Archetype enum).
+// Exposed for tests.
+[[nodiscard]] std::array<double, kArchetypeCount> archetype_weights(
+    geo::OacCluster cluster);
+
+}  // namespace cellscope::population

@@ -1,0 +1,72 @@
+// Subscriber records.
+//
+// A subscriber is one SIM of the MNO. Human subscribers carry a behavioural
+// archetype that the mobility model turns into daily routines and that the
+// policy timeline modulates during the pandemic (office workers start
+// working from home, students leave campuses, seasonal residents leave
+// London, ...). M2M SIMs and inbound roamers exist so that the analysis
+// layer has something to *filter out*, exactly as Section 2.3 does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "geo/admin.h"
+
+namespace cellscope::population {
+
+enum class Archetype : std::uint8_t {
+  // Commutes to a workplace; may switch to WFH under government advice
+  // depending on the job's WFH capability.
+  kOfficeWorker = 0,
+  // Already worked from home pre-pandemic.
+  kRemoteWorker,
+  // Healthcare / logistics / retail-essential: keeps commuting in lockdown.
+  kKeyWorker,
+  // Attends school or university until closures; may leave the city after.
+  kStudent,
+  // No workplace; local errands and leisure only.
+  kRetiree,
+  // Long-stay tourist or temporary resident (dense in Cosmopolitan areas);
+  // likely to leave the country/city during the lockdown.
+  kSeasonalResident,
+};
+inline constexpr int kArchetypeCount = 6;
+
+[[nodiscard]] std::string_view archetype_name(Archetype archetype);
+
+struct Subscriber {
+  UserId id;
+  Tac tac;
+  // Inbound international roamers are captured by the probes but dropped
+  // from the mobility statistics (Section 2.3).
+  bool native = true;
+  // False for M2M SIMs (also dropped from mobility statistics).
+  bool smartphone = true;
+
+  PostcodeDistrictId home_district;
+  CountyId home_county;
+  geo::Region home_region = geo::Region::kRestOfUk;
+  geo::OacCluster home_cluster = geo::OacCluster::kUrbanites;
+
+  Archetype archetype = Archetype::kOfficeWorker;
+  // Workplace / campus district; invalid for archetypes without one.
+  PostcodeDistrictId work_district = PostcodeDistrictId::invalid();
+  // Whether this worker's job can be done from home (drawn against the home
+  // cluster's wfh_capable trait at synthesis time).
+  bool wfh_capable = false;
+  // Owns / has access to an out-of-town second home (relocation candidate).
+  bool second_home = false;
+  CountyId second_home_county = CountyId::invalid();
+};
+
+// The synthesized population plus the index structures the simulator needs.
+struct Population {
+  std::vector<Subscriber> subscribers;
+
+  // Subscribers that the mobility pipeline keeps: native smartphones.
+  [[nodiscard]] std::size_t eligible_count() const;
+};
+
+}  // namespace cellscope::population

@@ -1,0 +1,51 @@
+// Radio access network entities.
+//
+// A cell *site* ("cell tower") hosts up to three 120-degree sectors; each
+// sector carries one cell per radio technology deployed at the site. The
+// paper's mobility pipeline works at tower granularity while the network
+// performance pipeline works at 4G cell granularity (Section 2.4) — both
+// are addressable here.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "common/geodesy.h"
+#include "common/ids.h"
+#include "geo/admin.h"
+
+namespace cellscope::radio {
+
+enum class Rat : std::uint8_t { k2G = 0, k3G, k4G };
+inline constexpr int kRatCount = 3;
+
+[[nodiscard]] std::string_view rat_name(Rat rat);
+
+struct Cell {
+  CellId id;
+  SiteId site;
+  // Sector index within the site (0..2).
+  std::uint8_t sector = 0;
+  Rat rat = Rat::k4G;
+  // Link capacities of the cell in Mbit/s (shared among its users).
+  double dl_capacity_mbps = 75.0;
+  double ul_capacity_mbps = 25.0;
+};
+
+struct CellSite {
+  SiteId id;
+  PostcodeDistrictId district;
+  CountyId county;
+  geo::Region region = geo::Region::kRestOfUk;
+  LatLon location;
+  std::uint8_t sector_count = 3;
+  bool has_2g = false;
+  bool has_3g = false;
+  bool active = true;
+  // Cell ids by [sector][rat]; invalid id when the RAT is absent.
+  std::vector<std::array<CellId, kRatCount>> cells_by_sector;
+};
+
+}  // namespace cellscope::radio

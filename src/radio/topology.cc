@@ -1,0 +1,158 @@
+#include "radio/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellscope::radio {
+
+namespace {
+// Daytime-population proxy used to apportion sites across districts. The
+// job/visitor contribution is capped: real operators densify city cores
+// further, but at simulation scale that would leave core cells with too few
+// subscribers for meaningful per-cell medians.
+double district_demand(const geo::DistrictInfo& d) {
+  return static_cast<double>(d.residents) +
+         25'000.0 * std::min(d.job_weight, 8.0) +
+         10'000.0 * std::min(d.visitor_weight, 6.0);
+}
+}  // namespace
+
+std::string_view rat_name(Rat rat) {
+  switch (rat) {
+    case Rat::k2G: return "2G";
+    case Rat::k3G: return "3G";
+    case Rat::k4G: return "4G";
+  }
+  return "?";
+}
+
+RadioTopology RadioTopology::build(const geo::UkGeography& geography,
+                                   const TopologyConfig& config) {
+  if (config.users_per_site <= 0.0)
+    throw std::invalid_argument("TopologyConfig: users_per_site must be > 0");
+
+  RadioTopology topo;
+  topo.outage_probability_ = config.outage_probability;
+  topo.seed_ = config.seed;
+  Rng root{config.seed};
+  Rng rng = root.fork("radio-topology");
+
+  const auto& districts = geography.districts();
+  topo.sites_by_district_.resize(districts.size());
+
+  double total_demand = 0.0;
+  for (const auto& d : districts) total_demand += district_demand(d);
+  const double total_sites =
+      static_cast<double>(config.expected_subscribers) / config.users_per_site;
+
+  for (const auto& district : districts) {
+    const double share = district_demand(district) / total_demand;
+    const int site_count =
+        std::max(1, static_cast<int>(std::lround(share * total_sites)));
+    for (int s = 0; s < site_count; ++s) {
+      CellSite site;
+      site.id = SiteId{static_cast<std::uint32_t>(topo.sites_.size())};
+      site.district = district.id;
+      site.county = district.county;
+      site.region = district.region;
+      // Spread sites across the district disc (ring layout + jitter).
+      const double angle =
+          2.0 * std::numbers::pi * s / site_count + rng.uniform(0.0, 0.5);
+      const double r = s == 0 ? 0.0
+                              : district.radius_km *
+                                    (0.3 + 0.6 * rng.uniform());
+      site.location = offset_km(district.center, r * std::cos(angle),
+                                r * std::sin(angle));
+      site.sector_count = 3;
+      site.has_3g = rng.chance(config.site_has_3g);
+      site.has_2g = rng.chance(config.site_has_2g);
+
+      site.cells_by_sector.resize(site.sector_count);
+      for (std::uint8_t sector = 0; sector < site.sector_count; ++sector) {
+        auto& row = site.cells_by_sector[sector];
+        row.fill(CellId::invalid());
+        const auto add_cell = [&](Rat rat, double dl_mbps, double ul_mbps) {
+          Cell cell;
+          cell.id = CellId{static_cast<std::uint32_t>(topo.cells_.size())};
+          cell.site = site.id;
+          cell.sector = sector;
+          cell.rat = rat;
+          cell.dl_capacity_mbps = dl_mbps;
+          cell.ul_capacity_mbps = ul_mbps;
+          row[static_cast<int>(rat)] = cell.id;
+          if (rat == Rat::k4G) topo.lte_cells_.push_back(cell.id);
+          topo.cells_.push_back(cell);
+        };
+        add_cell(Rat::k4G, 75.0, 25.0);
+        if (site.has_3g) add_cell(Rat::k3G, 8.0, 2.0);
+        if (site.has_2g) add_cell(Rat::k2G, 0.3, 0.1);
+      }
+      topo.sites_by_district_[district.id.value()].push_back(site.id);
+      topo.sites_.push_back(std::move(site));
+    }
+  }
+  return topo;
+}
+
+const CellSite& RadioTopology::site(SiteId id) const {
+  return sites_.at(id.value());
+}
+const Cell& RadioTopology::cell(CellId id) const {
+  return cells_.at(id.value());
+}
+
+const std::vector<SiteId>& RadioTopology::sites_in(
+    PostcodeDistrictId district) const {
+  return sites_by_district_.at(district.value());
+}
+
+SiteId RadioTopology::nearest_site(PostcodeDistrictId district,
+                                   const LatLon& location) const {
+  const auto& candidates = sites_in(district);
+  SiteId best = candidates.front();
+  double best_km = std::numeric_limits<double>::max();
+  for (const auto id : candidates) {
+    const double d = distance_km(sites_[id.value()].location, location);
+    if (d < best_km) {
+      best_km = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+CellId RadioTopology::serving_cell(PostcodeDistrictId district,
+                                   const LatLon& location, Rat rat) const {
+  const auto& s = site(nearest_site(district, location));
+  // Sector by bearing from the site to the user.
+  const double dy = location.lat_deg - s.location.lat_deg;
+  const double dx = location.lon_deg - s.location.lon_deg;
+  double bearing = std::atan2(dy, dx);  // [-pi, pi]
+  if (bearing < 0) bearing += 2.0 * std::numbers::pi;
+  const auto sector = static_cast<std::uint8_t>(
+      std::min<int>(s.sector_count - 1,
+                    static_cast<int>(bearing / (2.0 * std::numbers::pi) *
+                                     s.sector_count)));
+  const auto& row = s.cells_by_sector[sector];
+  const CellId requested = row[static_cast<int>(rat)];
+  return requested.valid() ? requested : row[static_cast<int>(Rat::k4G)];
+}
+
+std::vector<TopologySnapshotRow> RadioTopology::snapshot(SimDay day) const {
+  std::vector<TopologySnapshotRow> rows;
+  rows.reserve(sites_.size());
+  Rng day_rng = Rng{seed_}.fork("topology-outage", static_cast<std::uint64_t>(day));
+  for (const auto& site : sites_) {
+    TopologySnapshotRow row;
+    row.site = site.id;
+    row.district = site.district;
+    row.location = site.location;
+    row.active = !day_rng.chance(outage_probability_);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cellscope::radio

@@ -1,0 +1,84 @@
+// Radio network topology generation and daily snapshots.
+//
+// Sites are deployed per postcode district proportionally to expected
+// subscriber presence (residents + commuter jobs + visitors), mirroring how
+// operators dimension capacity for daytime population. The topology also
+// serves the paper's "Radio Network Topology" data feed: a daily snapshot of
+// every site's metadata and active/inactive status (Section 2.2), including
+// the occasional maintenance outage so downstream code must handle status.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simtime.h"
+#include "geo/uk_model.h"
+#include "radio/cell.h"
+
+namespace cellscope::radio {
+
+struct TopologyConfig {
+  // Target subscribers per site; sites per district scale with this.
+  double users_per_site = 90.0;
+  // Expected subscriber count (drives the absolute number of sites).
+  std::uint32_t expected_subscribers = 30'000;
+  // Legacy RAT deployment probabilities per site.
+  double site_has_3g = 0.6;
+  double site_has_2g = 0.4;
+  // Per-day probability that a site is down for maintenance.
+  double outage_probability = 0.002;
+  std::uint64_t seed = 2020;
+};
+
+// One row of the daily topology feed.
+struct TopologySnapshotRow {
+  SiteId site;
+  PostcodeDistrictId district;
+  LatLon location;
+  bool active = true;
+};
+
+class RadioTopology {
+ public:
+  static RadioTopology build(const geo::UkGeography& geography,
+                             const TopologyConfig& config = {});
+
+  [[nodiscard]] const std::vector<CellSite>& sites() const { return sites_; }
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+  [[nodiscard]] const CellSite& site(SiteId id) const;
+  [[nodiscard]] const Cell& cell(CellId id) const;
+
+  // Sites in a district, in id order (every district has at least one).
+  [[nodiscard]] const std::vector<SiteId>& sites_in(
+      PostcodeDistrictId district) const;
+
+  // Nearest site to a location within its district.
+  [[nodiscard]] SiteId nearest_site(PostcodeDistrictId district,
+                                    const LatLon& location) const;
+
+  // Serving cell for a location: nearest site, sector by bearing, cell by
+  // RAT (falls back to 4G when the site lacks the requested legacy RAT).
+  [[nodiscard]] CellId serving_cell(PostcodeDistrictId district,
+                                    const LatLon& location, Rat rat) const;
+
+  // Daily "Radio Network Topology" feed with maintenance outages applied.
+  // Deterministic per (seed, day).
+  [[nodiscard]] std::vector<TopologySnapshotRow> snapshot(SimDay day) const;
+
+  // 4G cells only — the KPI universe of Section 2.4.
+  [[nodiscard]] const std::vector<CellId>& lte_cells() const {
+    return lte_cells_;
+  }
+
+ private:
+  std::vector<CellSite> sites_;
+  std::vector<Cell> cells_;
+  std::vector<std::vector<SiteId>> sites_by_district_;
+  std::vector<CellId> lte_cells_;
+  double outage_probability_ = 0.0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace cellscope::radio

@@ -1,0 +1,38 @@
+#include "sim/scenario.h"
+
+#include <stdexcept>
+
+namespace cellscope::sim {
+
+void ScenarioConfig::validate() const {
+  if (first_week < kEpochIsoWeek)
+    throw std::invalid_argument("ScenarioConfig: first_week before epoch");
+  if (last_week < first_week)
+    throw std::invalid_argument("ScenarioConfig: last_week < first_week");
+  if (kpi_first_week < first_week || kpi_first_week > last_week)
+    throw std::invalid_argument(
+        "ScenarioConfig: kpi_first_week outside the simulated window");
+  if (num_users == 0)
+    throw std::invalid_argument("ScenarioConfig: num_users must be > 0");
+  if (lte_time_share < 0.0 || lte_time_share > 1.0)
+    throw std::invalid_argument(
+        "ScenarioConfig: lte_time_share must be in [0, 1]");
+  if (worker_threads < 1 || worker_threads > 256)
+    throw std::invalid_argument(
+        "ScenarioConfig: worker_threads must be in [1, 256]");
+}
+
+ScenarioConfig default_scenario() {
+  ScenarioConfig config;
+  // Defaults in the member initializers are the calibrated paper scenario.
+  return config;
+}
+
+ScenarioConfig smoke_scenario() {
+  ScenarioConfig config;
+  config.num_users = 3'000;
+  config.topology.users_per_site = 120.0;  // keep the RAN small too
+  return config;
+}
+
+}  // namespace cellscope::sim

@@ -1,0 +1,90 @@
+// Scenario configuration.
+//
+// One ScenarioConfig fully determines a simulation run: the synthetic UK,
+// the subscriber population, the RAN, the behavioural/policy models and the
+// measurement window. Everything derives from `seed`, so two runs with the
+// same config produce bit-identical feeds.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/uk_model.h"
+#include "mobility/relocation.h"
+#include "mobility/trajectory.h"
+#include "population/generator.h"
+#include "radio/topology.h"
+#include "telemetry/kpi.h"
+#include "traffic/core_network.h"
+#include "traffic/demand.h"
+#include "traffic/interconnect.h"
+#include "traffic/voice.h"
+
+namespace cellscope::sim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  // Simulated window, ISO weeks of 2020. Week 6 opens the February
+  // home-detection warm-up; the paper's analysis covers weeks 9-19.
+  int first_week = 6;
+  int last_week = 19;
+  // Network KPI collection starts here (mobility is always collected).
+  int kpi_first_week = 9;
+  bool collect_kpis = true;
+  bool collect_signaling = true;
+  // Also compute the six per-4-hour-bin mobility aggregates of Section 2.3
+  // (6x the metric work; off by default, used by bench_ext_binned_mobility).
+  bool collect_binned_mobility = false;
+  // Also collect KPIs for 2G/3G cells (the paper's probes tap the legacy
+  // Gb/Iu-PS/A interfaces too, but its figures are 4G-only). Off by
+  // default; used by bench_ext_legacy_rats.
+  bool collect_legacy_kpis = false;
+
+  // Subscriber scale. The paper has ~22M native users; the default 40k is a
+  // scaled stand-in (all reported quantities are deltas/fractions).
+  std::uint32_t num_users = 40'000;
+
+  geo::GeographyConfig geography;
+  // Intervention-timeline knobs (counterfactuals: no lockdown, earlier
+  // order, no regional relaxation...). Defaults reproduce the paper.
+  mobility::PolicyParams policy;
+  population::PopulationConfig population;  // num_users/seed overridden
+  radio::TopologyConfig topology;           // expected_subscribers/seed overridden
+  mobility::BehaviorParams behavior;
+  mobility::RelocationParams relocation;
+  traffic::DemandParams demand;
+  traffic::VoiceParams voice;
+  traffic::InterconnectParams interconnect;
+  traffic::SignalingParams signaling;
+  telemetry::DailyReduction kpi_reduction = telemetry::DailyReduction::kMedian;
+
+  // Share of connected time 4G serves when legacy RATs are present (~75%
+  // per Section 2.4).
+  double lte_time_share = 0.75;
+
+  // Worker threads for the per-user simulation. 1 = the serial reference.
+  // Parallel runs are deterministic for a fixed thread count: mobility
+  // outputs are bit-identical to the serial run (fixed apply order); KPI
+  // sums can differ in the last float bits (per-shard partial sums).
+  int worker_threads = 1;
+
+  [[nodiscard]] SimDay first_day() const { return week_start_day(first_week); }
+  [[nodiscard]] SimDay last_day() const {
+    return week_start_day(last_week) + kDaysPerWeek - 1;
+  }
+  [[nodiscard]] SimDay kpi_first_day() const {
+    return week_start_day(kpi_first_week);
+  }
+
+  // Validates invariants (week ordering, positive counts); throws
+  // std::invalid_argument on violation.
+  void validate() const;
+};
+
+// The paper-scale default scenario used by the figure benches.
+[[nodiscard]] ScenarioConfig default_scenario();
+
+// A small, fast scenario for tests and the quickstart example.
+[[nodiscard]] ScenarioConfig smoke_scenario();
+
+}  // namespace cellscope::sim

@@ -1,0 +1,573 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "analysis/mobility_metrics.h"
+#include "mobility/place.h"
+#include "mobility/relocation.h"
+#include "mobility/trajectory.h"
+#include "radio/scheduler.h"
+#include "traffic/demand.h"
+#include "traffic/voice.h"
+
+namespace cellscope::sim {
+
+namespace {
+
+// Serving cells of one user place, resolved once.
+struct PlaceCells {
+  SiteId site;
+  LatLon site_location;
+  CountyId county;
+  PostcodeDistrictId district;
+  std::array<CellId, radio::kRatCount> cell_by_rat;
+  bool site_has_legacy = false;
+};
+
+PlaceCells resolve_place(const radio::RadioTopology& topology,
+                         const mobility::Place& place) {
+  PlaceCells pc;
+  // serving_cell() picks nearest site + bearing sector; resolve per RAT
+  // (legacy falls back to 4G where undeployed).
+  pc.cell_by_rat[static_cast<int>(radio::Rat::k4G)] =
+      topology.serving_cell(place.district, place.location, radio::Rat::k4G);
+  pc.cell_by_rat[static_cast<int>(radio::Rat::k3G)] =
+      topology.serving_cell(place.district, place.location, radio::Rat::k3G);
+  pc.cell_by_rat[static_cast<int>(radio::Rat::k2G)] =
+      topology.serving_cell(place.district, place.location, radio::Rat::k2G);
+  const auto& cell =
+      topology.cell(pc.cell_by_rat[static_cast<int>(radio::Rat::k4G)]);
+  const auto& site = topology.site(cell.site);
+  pc.site = site.id;
+  pc.site_location = site.location;
+  pc.county = site.county;
+  pc.district = site.district;
+  pc.site_has_legacy = site.has_2g || site.has_3g;
+  return pc;
+}
+
+}  // namespace
+
+Simulator::Simulator(ScenarioConfig config) : config_(std::move(config)) {}
+
+Dataset run_scenario(const ScenarioConfig& config) {
+  return Simulator{config}.run();
+}
+
+Dataset Simulator::run() {
+  config_.validate();
+
+  Dataset ds;
+  ds.config = config_;
+  Rng root{config_.seed};
+
+  // ---------------------------------------------------------------- setup
+  auto geo_config = config_.geography;
+  geo_config.seed = config_.seed;
+  ds.geography = std::make_unique<geo::UkGeography>(
+      geo::UkGeography::build(geo_config));
+  const geo::UkGeography& geography = *ds.geography;
+
+  ds.catalog = std::make_unique<population::DeviceCatalog>(
+      population::DeviceCatalog::build(config_.seed));
+
+  auto pop_config = config_.population;
+  pop_config.num_users = config_.num_users;
+  pop_config.seed = config_.seed;
+  population::PopulationGenerator generator{geography, *ds.catalog};
+  ds.population = std::make_unique<population::Population>(
+      generator.generate(pop_config));
+  const auto& subscribers = ds.population->subscribers;
+  ds.eligible_users = ds.population->eligible_count();
+
+  auto topo_config = config_.topology;
+  topo_config.expected_subscribers = config_.num_users;
+  topo_config.seed = config_.seed;
+  ds.topology = std::make_unique<radio::RadioTopology>(
+      radio::RadioTopology::build(geography, topo_config));
+  const radio::RadioTopology& topology = *ds.topology;
+
+  ds.policy = std::make_unique<mobility::PolicyTimeline>(config_.policy);
+  const mobility::PolicyTimeline& policy = *ds.policy;
+
+  mobility::PlacesBuilder places_builder{geography};
+  mobility::TrajectoryGenerator trajectories{geography, policy,
+                                             config_.behavior};
+  mobility::RelocationModel relocation{geography, policy, config_.relocation};
+  traffic::DemandModel demand_model{policy, config_.demand};
+  traffic::VoiceModel voice_model{policy, config_.voice};
+  traffic::VoiceInterconnect interconnect{config_.interconnect};
+  traffic::SignalingGenerator signaling_gen{config_.signaling};
+  radio::LteScheduler scheduler;
+
+  const SimDay first_day = config_.first_day();
+  const SimDay last_day = config_.last_day();
+  const SimDay kpi_first_day =
+      config_.collect_kpis ? config_.kpi_first_day() : last_day + 1;
+
+  // Per-user structures.
+  const std::size_t n_users = subscribers.size();
+  std::vector<mobility::UserPlaces> user_places(n_users);
+  std::vector<mobility::UserState> user_states(n_users);
+  std::vector<std::vector<PlaceCells>> place_cells(n_users);
+  for (std::size_t i = 0; i < n_users; ++i) {
+    Rng user_rng = root.fork("user-places", i);
+    user_places[i] = places_builder.build(subscribers[i], user_rng);
+  }
+  const auto cells_of = [&](std::size_t user,
+                            std::uint8_t place_index) -> const PlaceCells& {
+    auto& resolved = place_cells[user];
+    while (resolved.size() <= place_index) {
+      resolved.push_back(resolve_place(
+          topology, user_places[user].places[resolved.size()]));
+    }
+    return resolved[place_index];
+  };
+
+  // Mobility aggregates.
+  ds.entropy_national = analysis::GroupedDailySeries{1, first_day, last_day};
+  ds.gyration_national = analysis::GroupedDailySeries{1, first_day, last_day};
+  ds.entropy_by_region = analysis::GroupedDailySeries{
+      static_cast<std::size_t>(geo::kRegionCount), first_day, last_day};
+  ds.gyration_by_region = analysis::GroupedDailySeries{
+      static_cast<std::size_t>(geo::kRegionCount), first_day, last_day};
+  ds.entropy_by_cluster = analysis::GroupedDailySeries{
+      static_cast<std::size_t>(geo::kOacClusterCount), first_day, last_day};
+  ds.gyration_by_cluster = analysis::GroupedDailySeries{
+      static_cast<std::size_t>(geo::kOacClusterCount), first_day, last_day};
+
+  // Home detection runs over the warm-up and closes when week 9 opens, so
+  // that the Fig 7 matrix can track detected residents from the baseline
+  // week onward (Feb 3-23 gives 21 candidate nights >= the 14 required).
+  const SimDay analysis_start = week_start_day(9);
+  analysis::HomeDetectionParams home_params;
+  home_params.first_day = first_day;
+  home_params.end_day = std::min<SimDay>(analysis_start, last_day + 1);
+  analysis::HomeDetector home_detector{home_params};
+  bool homes_finalized = false;
+  std::vector<std::uint8_t> tracked_london(n_users, 0);
+
+  const auto inner_london = geography.county_by_name("Inner London");
+
+  // KPI plumbing.
+  const std::size_t n_cells = topology.cells().size();
+  telemetry::KpiAggregator kpi_aggregator{n_cells, config_.kpi_reduction};
+  // [cell][hour] offered load for the current day; app_limited_dl_mbps
+  // accumulates rate*seconds here and is normalized before scheduling.
+  std::vector<radio::CellHourLoad> hour_loads(n_cells * kHoursPerDay);
+  std::array<double, kHoursPerDay> offnet_minutes{};
+  double week9_busy_hour_minutes = 0.0;
+  bool interconnect_calibrated = false;
+
+  ds.offnet_busy_hour_minutes = DailySeries{first_day, last_day};
+  ds.interconnect_busy_hour_loss_pct = DailySeries{first_day, last_day};
+  ds.roamers_active = DailySeries{first_day, last_day};
+  ds.gyration_distribution = analysis::DistributionSeries{first_day, last_day};
+  ds.entropy_distribution = analysis::DistributionSeries{first_day, last_day};
+  if (config_.collect_binned_mobility) {
+    ds.entropy_by_bin = analysis::GroupedDailySeries{
+        static_cast<std::size_t>(kFourHourBinsPerDay), first_day, last_day};
+    ds.gyration_by_bin = analysis::GroupedDailySeries{
+        static_cast<std::size_t>(kFourHourBinsPerDay), first_day, last_day};
+  }
+  double lte_hours = 0.0;
+  double legacy_hours = 0.0;
+
+  // ---------------------------------------------------- worker contexts
+  // The per-user day simulation is embarrassingly parallel: every mutable
+  // per-user structure is disjoint and all randomness comes from per-user
+  // forks. Workers accumulate into private buffers; buffered results are
+  // applied serially in user-index order, so a parallel run reproduces the
+  // serial mobility outputs bit for bit (KPI sums are merged per shard and
+  // can differ from the serial run in the last float bits).
+  struct MobilityResult {
+    std::uint32_t user = 0;
+    double entropy = 0.0;
+    double gyration = 0.0;
+    std::array<float, kFourHourBinsPerDay> bin_entropy{};
+    std::array<float, kFourHourBinsPerDay> bin_gyration{};
+    std::uint8_t bin_mask = 0;
+  };
+  struct Worker {
+    std::vector<radio::CellHourLoad> loads;
+    std::array<double, kHoursPerDay> offnet{};
+    double roamers = 0.0;
+    double lte_hours = 0.0;
+    double legacy_hours = 0.0;
+    std::vector<MobilityResult> mobility;
+    std::vector<telemetry::UserDayObservation> detector_obs;
+    std::vector<telemetry::UserDayObservation> matrix_obs;
+    telemetry::SignalingProbe probe;
+  };
+  const int n_workers = config_.worker_threads;
+  std::vector<Worker> workers(static_cast<std::size_t>(n_workers));
+  for (auto& w : workers) w.loads.assign(n_cells * kHoursPerDay, {});
+
+  // Field-wise addition of a shard's cell-hour loads into the shared array.
+  const auto merge_load = [](radio::CellHourLoad& into,
+                             const radio::CellHourLoad& from) {
+    into.offered_dl_mb += from.offered_dl_mb;
+    into.offered_ul_mb += from.offered_ul_mb;
+    into.active_dl_user_seconds += from.active_dl_user_seconds;
+    into.app_limited_dl_mbps += from.app_limited_dl_mbps;
+    into.connected_users += from.connected_users;
+    into.voice_dl_mb += from.voice_dl_mb;
+    into.voice_ul_mb += from.voice_ul_mb;
+    into.voice_user_seconds += from.voice_user_seconds;
+    if (from.voice_user_seconds > 0.0)
+      into.offnet_voice_fraction = from.offnet_voice_fraction;
+  };
+
+  // ------------------------------------------------------------- main loop
+  for (SimDay day = first_day; day <= last_day; ++day) {
+    // Finalize homes the moment the analysis window opens.
+    if (!homes_finalized && day >= analysis_start) {
+      homes_finalized = true;
+      ds.homes = home_detector.finalize();
+      ds.home_validation = analysis::validate_homes(
+          geography, ds.homes, static_cast<std::int64_t>(ds.eligible_users));
+      if (inner_london) {
+        ds.london_matrix = std::make_unique<analysis::MobilityMatrix>(
+            geography, *inner_london, analysis_start, last_day);
+        for (const auto& home : ds.homes) {
+          if (home.home_county == *inner_london) {
+            tracked_london[home.user.value()] = 1;
+            ++ds.london_residents_tracked;
+          }
+        }
+      }
+    }
+
+    const bool kpi_day = config_.collect_kpis && day >= kpi_first_day;
+    if (kpi_day) kpi_aggregator.begin_day(day);
+
+    const bool collect_homes = !homes_finalized;
+    const bool track_matrix = ds.london_matrix != nullptr;
+
+    // Reset per-day worker state.
+    for (auto& w : workers) {
+      if (kpi_day) {
+        std::fill(w.loads.begin(), w.loads.end(), radio::CellHourLoad{});
+        w.offnet.fill(0.0);
+      }
+      w.roamers = 0.0;
+      w.mobility.clear();
+      w.detector_obs.clear();
+      w.matrix_obs.clear();
+    }
+
+    // --- Per-user simulation (runs inside a worker thread; writes only to
+    // its Worker and to the user's own state/places). ---
+    const auto process_user = [&](std::size_t i, Worker& w,
+                                  telemetry::UserDayObservation& observation,
+                                  std::vector<traffic::CellStay>& cell_stays) {
+      const population::Subscriber& user = subscribers[i];
+      mobility::UserState& state = user_states[i];
+      Rng rng = root.fork("user-day", i * 1024 + static_cast<std::size_t>(day));
+
+      relocation.maybe_decide(user, user_places[i], state, day, rng);
+
+      mobility::DayPlan plan;
+      if (!user.smartphone) {
+        // M2M devices are static: pinned to the home place around the clock.
+        if (!state.departed) plan.stays.push_back({0, 0, kHoursPerDay});
+      } else {
+        plan = trajectories.plan_day(user, user_places[i], state, day, rng);
+      }
+      if (plan.empty()) return;
+      if (!user.native) w.roamers += 1.0;
+
+      // --- Build the tower-level observation (merge stays per site). ---
+      observation.user = user.id;
+      observation.day = day;
+      observation.stays.clear();
+      for (const auto& stay : plan.stays) {
+        const PlaceCells& pc = cells_of(i, stay.place);
+        telemetry::TowerStay* tower = nullptr;
+        for (auto& existing : observation.stays) {
+          if (existing.site == pc.site) {
+            tower = &existing;
+            break;
+          }
+        }
+        if (tower == nullptr) {
+          observation.stays.emplace_back();
+          tower = &observation.stays.back();
+          tower->site = pc.site;
+          tower->location = pc.site_location;
+          tower->county = pc.county;
+          tower->district = pc.district;
+          tower->hours = 0.0f;
+          tower->night_hours = 0.0f;
+          tower->bin_hours.fill(0.0f);
+        }
+        const float hours = static_cast<float>(stay.end_hour - stay.start_hour);
+        tower->hours += hours;
+        for (int h = stay.start_hour; h < stay.end_hour; ++h) {
+          tower->bin_hours[static_cast<std::size_t>(four_hour_bin(h))] += 1.0f;
+          if (is_nighttime(h)) tower->night_hours += 1.0f;
+        }
+      }
+
+      const bool eligible = user.native && user.smartphone;
+      if (eligible) {
+        if (collect_homes) w.detector_obs.push_back(observation);
+        // Mobility metrics, grouped by residence (Section 2.3 aggregates at
+        // home-postcode granularity and up). Buffered; applied in
+        // user-index order after the join.
+        if (const auto metrics = analysis::compute_day_metrics(observation)) {
+          MobilityResult result;
+          result.user = static_cast<std::uint32_t>(i);
+          result.entropy = metrics->entropy;
+          result.gyration = metrics->gyration_km;
+          if (config_.collect_binned_mobility) {
+            for (int bin = 0; bin < kFourHourBinsPerDay; ++bin) {
+              analysis::MobilityMetricOptions options;
+              options.four_hour_bin = bin;
+              if (const auto m =
+                      analysis::compute_day_metrics(observation, options)) {
+                result.bin_entropy[static_cast<std::size_t>(bin)] =
+                    static_cast<float>(m->entropy);
+                result.bin_gyration[static_cast<std::size_t>(bin)] =
+                    static_cast<float>(m->gyration_km);
+                result.bin_mask |= static_cast<std::uint8_t>(1u << bin);
+              }
+            }
+          }
+          w.mobility.push_back(result);
+        }
+        if (track_matrix && tracked_london[i])
+          w.matrix_obs.push_back(observation);
+      }
+
+      // --- Traffic and signaling. ---
+      if (!kpi_day) return;
+      int active_data_hours = 0;
+      int voice_calls = 0;
+      cell_stays.clear();
+      for (const auto& stay : plan.stays) {
+        const PlaceCells& pc = cells_of(i, stay.place);
+        const auto context = traffic::wifi_context(
+            user_places[i].places[stay.place].kind);
+        const CellId lte_cell =
+            pc.cell_by_rat[static_cast<int>(radio::Rat::k4G)];
+        cell_stays.push_back({lte_cell, stay.start_hour, stay.end_hour});
+
+        for (int h = stay.start_hour; h < stay.end_hour; ++h) {
+          // RAT for this hour (~75% of connected time on 4G).
+          const bool on_lte =
+              !pc.site_has_legacy || rng.chance(config_.lte_time_share);
+          if (on_lte) {
+            w.lte_hours += 1.0;
+          } else {
+            w.legacy_hours += 1.0;
+          }
+
+          const auto voice = voice_model.sample_hour(user, day, h, rng);
+          if (voice.minutes > 0.0) {
+            ++voice_calls;
+            // All off-net conversational minutes (any RAT) cross the
+            // inter-MNO trunks.
+            w.offnet[static_cast<std::size_t>(h)] +=
+                voice.minutes * voice.offnet_fraction;
+          }
+
+          // Serving cell for the load accounting. Legacy hours are outside
+          // the paper's KPI scope and are only accumulated when the
+          // scenario opts into legacy collection.
+          CellId serving = lte_cell;
+          if (!on_lte) {
+            if (!config_.collect_legacy_kpis) continue;
+            // Camped on 3G where deployed (2G for ~30% of the legacy dwell
+            // when both layers exist).
+            const CellId cell_3g =
+                pc.cell_by_rat[static_cast<int>(radio::Rat::k3G)];
+            const CellId cell_2g =
+                pc.cell_by_rat[static_cast<int>(radio::Rat::k2G)];
+            const bool has_3g =
+                topology.cell(cell_3g).rat == radio::Rat::k3G;
+            const bool has_2g =
+                topology.cell(cell_2g).rat == radio::Rat::k2G;
+            if (has_3g && (!has_2g || !rng.chance(0.3))) {
+              serving = cell_3g;
+            } else if (has_2g) {
+              serving = cell_2g;
+            } else {
+              continue;  // no legacy layer actually deployed here
+            }
+          }
+
+          auto& load = w.loads[serving.value() * kHoursPerDay +
+                               static_cast<std::size_t>(h)];
+          load.connected_users += 1.0;
+          const auto demand = demand_model.sample_hour(
+              user, context, day, h, rng,
+              demand_model.activity_factor(
+                  user_places[i].places[stay.place].kind, day));
+          load.offered_dl_mb += demand.dl_mb;
+          load.offered_ul_mb += demand.ul_mb;
+          load.active_dl_user_seconds += demand.active_dl_seconds;
+          // Accumulate rate*seconds; normalized to the mean before
+          // scheduling (see below).
+          load.app_limited_dl_mbps +=
+              demand.app_dl_rate_mbps * demand.active_dl_seconds;
+          if (on_lte && demand.active_dl_seconds > 0.0) ++active_data_hours;
+          if (voice.minutes > 0.0) {
+            load.voice_dl_mb += voice.dl_mb;
+            load.voice_ul_mb += voice.ul_mb;
+            load.voice_user_seconds += voice.in_call_seconds;
+            load.offnet_voice_fraction = voice.offnet_fraction;
+          }
+        }
+      }
+      if (config_.collect_signaling && !cell_stays.empty()) {
+        signaling_gen.generate_day(user, cell_stays, day, active_data_hours,
+                                   voice_calls, rng, w.probe);
+      }
+    };
+
+    const auto run_range = [&](std::size_t begin, std::size_t end,
+                               Worker& w) {
+      telemetry::UserDayObservation observation;
+      std::vector<traffic::CellStay> cell_stays;
+      for (std::size_t i = begin; i < end; ++i)
+        process_user(i, w, observation, cell_stays);
+    };
+
+    if (n_workers == 1) {
+      run_range(0, n_users, workers[0]);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(n_workers));
+      for (int t = 0; t < n_workers; ++t) {
+        const std::size_t begin =
+            n_users * static_cast<std::size_t>(t) /
+            static_cast<std::size_t>(n_workers);
+        const std::size_t shard_end =
+            n_users * static_cast<std::size_t>(t + 1) /
+            static_cast<std::size_t>(n_workers);
+        threads.emplace_back(run_range, begin, shard_end,
+                             std::ref(workers[static_cast<std::size_t>(t)]));
+      }
+      for (auto& thread : threads) thread.join();
+    }
+
+    // --- Apply buffered results serially, shard order == user order. ---
+    double roamers_today = 0.0;
+    if (kpi_day) {
+      std::fill(hour_loads.begin(), hour_loads.end(),
+                radio::CellHourLoad{});
+      offnet_minutes.fill(0.0);
+    }
+    for (auto& w : workers) {
+      roamers_today += w.roamers;
+      lte_hours += w.lte_hours;
+      legacy_hours += w.legacy_hours;
+      w.lte_hours = 0.0;
+      w.legacy_hours = 0.0;
+      for (const auto& obs : w.detector_obs) home_detector.observe(obs);
+      for (const auto& result : w.mobility) {
+        const population::Subscriber& user = subscribers[result.user];
+        if (config_.collect_binned_mobility) {
+          for (int bin = 0; bin < kFourHourBinsPerDay; ++bin) {
+            if (!(result.bin_mask & (1u << bin))) continue;
+            ds.entropy_by_bin.add(
+                static_cast<std::size_t>(bin), day,
+                static_cast<double>(
+                    result.bin_entropy[static_cast<std::size_t>(bin)]));
+            ds.gyration_by_bin.add(
+                static_cast<std::size_t>(bin), day,
+                static_cast<double>(
+                    result.bin_gyration[static_cast<std::size_t>(bin)]));
+          }
+        }
+        ds.entropy_national.add(0, day, result.entropy);
+        ds.gyration_national.add(0, day, result.gyration);
+        ds.entropy_distribution.add(day, result.entropy);
+        ds.gyration_distribution.add(day, result.gyration);
+        const auto region = static_cast<std::size_t>(user.home_region);
+        ds.entropy_by_region.add(region, day, result.entropy);
+        ds.gyration_by_region.add(region, day, result.gyration);
+        const auto cluster = static_cast<std::size_t>(user.home_cluster);
+        ds.entropy_by_cluster.add(cluster, day, result.entropy);
+        ds.gyration_by_cluster.add(cluster, day, result.gyration);
+      }
+      for (const auto& obs : w.matrix_obs) ds.london_matrix->observe(obs);
+      if (kpi_day) {
+        for (std::size_t k = 0; k < hour_loads.size(); ++k)
+          merge_load(hour_loads[k], w.loads[k]);
+        for (int h = 0; h < kHoursPerDay; ++h)
+          offnet_minutes[static_cast<std::size_t>(h)] +=
+              w.offnet[static_cast<std::size_t>(h)];
+      }
+    }
+
+    ds.roamers_active.set(day, roamers_today);
+    ds.gyration_distribution.seal_day(day);
+    ds.entropy_distribution.seal_day(day);
+
+    // --- Schedule the day's cell-hours and reduce to daily KPIs. ---
+    if (kpi_day) {
+      // Interconnect: dimensioned against the first KPI week's busy hour.
+      const int calibration_week = config_.kpi_first_week;
+      const double day_busy_hour =
+          *std::max_element(offnet_minutes.begin(), offnet_minutes.end());
+      if (iso_week(day) == calibration_week) {
+        week9_busy_hour_minutes =
+            std::max(week9_busy_hour_minutes, day_busy_hour);
+      } else if (!interconnect_calibrated) {
+        interconnect.calibrate(std::max(week9_busy_hour_minutes, 1.0));
+        interconnect_calibrated = true;
+      }
+
+      std::array<double, kHoursPerDay> hour_loss{};
+      for (int h = 0; h < kHoursPerDay; ++h) {
+        hour_loss[static_cast<std::size_t>(h)] =
+            interconnect_calibrated
+                ? interconnect.dl_loss_pct(day, offnet_minutes[h])
+                : interconnect.params().base_loss_pct;
+      }
+      ds.offnet_busy_hour_minutes.set(day, day_busy_hour);
+      const auto busy_hour_index = static_cast<std::size_t>(
+          std::max_element(offnet_minutes.begin(), offnet_minutes.end()) -
+          offnet_minutes.begin());
+      ds.interconnect_busy_hour_loss_pct.set(day, hour_loss[busy_hour_index]);
+
+      const auto schedule_cell = [&](CellId cell_id) {
+        const radio::Cell& cell = topology.cell(cell_id);
+        for (int h = 0; h < kHoursPerDay; ++h) {
+          auto& load = hour_loads[cell_id.value() * kHoursPerDay +
+                                  static_cast<std::size_t>(h)];
+          if (load.active_dl_user_seconds > 0.0)
+            load.app_limited_dl_mbps /= load.active_dl_user_seconds;
+          kpi_aggregator.record_hour(
+              cell_id, scheduler.schedule_hour(
+                           cell, load, hour_loss[static_cast<std::size_t>(h)]));
+        }
+      };
+      if (config_.collect_legacy_kpis) {
+        for (const auto& cell : topology.cells()) schedule_cell(cell.id);
+      } else {
+        for (const auto cell_id : topology.lte_cells()) schedule_cell(cell_id);
+      }
+      ds.kpis.add_day(kpi_aggregator.finish_day());
+    }
+  }
+
+  for (const auto& w : workers) ds.signaling.merge(w.probe);
+
+  if (lte_hours + legacy_hours > 0.0)
+    ds.measured_lte_time_share = lte_hours / (lte_hours + legacy_hours);
+
+  // Degenerate scenarios that never reach week 9 still finalize homes.
+  if (!homes_finalized) {
+    ds.homes = home_detector.finalize();
+    ds.home_validation = analysis::validate_homes(
+        geography, ds.homes, static_cast<std::int64_t>(ds.eligible_users));
+  }
+  return ds;
+}
+
+}  // namespace cellscope::sim

@@ -1,0 +1,102 @@
+// Radio Network Performance feed.
+//
+// Section 2.4: KPIs are collected hourly per 4G cell, then "aggregate[d]
+// per day [by extracting] the (hourly) median value per cell", giving one
+// value per metric per cell per day. KpiAggregator implements exactly that
+// reduction (with the mean available as the documented ablation), and
+// KpiStore holds the resulting daily records for the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/simtime.h"
+#include "radio/scheduler.h"
+
+namespace cellscope::telemetry {
+
+// One cell-day row of the performance feed (daily medians of hourly KPIs).
+struct CellDayRecord {
+  CellId cell;
+  SimDay day = 0;
+  double dl_volume_mb = 0.0;
+  double ul_volume_mb = 0.0;
+  double active_dl_users = 0.0;
+  double tti_utilization = 0.0;
+  double user_dl_throughput_mbps = 0.0;
+  double active_data_seconds = 0.0;
+  double connected_users = 0.0;
+  double voice_volume_mb = 0.0;
+  double simultaneous_voice_users = 0.0;
+  double voice_dl_loss_pct = 0.0;
+  double voice_ul_loss_pct = 0.0;
+};
+
+enum class KpiMetric : std::uint8_t {
+  kDlVolume = 0,
+  kUlVolume,
+  kActiveDlUsers,
+  kTtiUtilization,
+  kUserDlThroughput,
+  kActiveDataSeconds,
+  kConnectedUsers,
+  kVoiceVolume,
+  kSimultaneousVoiceUsers,
+  kVoiceDlLoss,
+  kVoiceUlLoss,
+};
+inline constexpr int kKpiMetricCount = 11;
+
+[[nodiscard]] std::string_view kpi_metric_name(KpiMetric metric);
+[[nodiscard]] double kpi_value(const CellDayRecord& record, KpiMetric metric);
+
+enum class DailyReduction : std::uint8_t {
+  kMedian = 0,  // what the paper reports
+  kMean,        // ablation (DESIGN.md Section 5)
+};
+
+class KpiAggregator {
+ public:
+  // `cell_count` indexes cells densely by CellId value.
+  KpiAggregator(std::size_t cell_count,
+                DailyReduction reduction = DailyReduction::kMedian);
+
+  void begin_day(SimDay day);
+  void record_hour(CellId cell, const radio::CellHourKpi& kpi);
+  // Reduces the day's 24 hourly samples per cell to one CellDayRecord each.
+  // Cells with no recorded hours produce all-zero rows (idle rural cells).
+  [[nodiscard]] std::vector<CellDayRecord> finish_day();
+
+ private:
+  std::size_t cell_count_;
+  DailyReduction reduction_;
+  SimDay day_ = 0;
+  bool day_open_ = false;
+  // [cell][metric][hour_slot] sample buffers, flattened.
+  std::vector<double> samples_;
+  std::vector<std::uint8_t> hours_recorded_;
+  [[nodiscard]] std::size_t slot(std::size_t cell, int metric,
+                                 int hour) const;
+};
+
+// All cell-day rows of the analysis window, with lookup helpers.
+class KpiStore {
+ public:
+  void add_day(std::vector<CellDayRecord> rows);
+
+  [[nodiscard]] const std::vector<CellDayRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] SimDay first_day() const { return first_day_; }
+  [[nodiscard]] SimDay last_day() const { return last_day_; }
+
+ private:
+  std::vector<CellDayRecord> records_;
+  SimDay first_day_ = 0;
+  SimDay last_day_ = -1;
+};
+
+}  // namespace cellscope::telemetry

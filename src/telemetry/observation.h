@@ -1,0 +1,49 @@
+// Per-user-day tower observations.
+//
+// Section 2.3: the mobility pipeline associates each anonymized user to the
+// radio towers they touch, with the total connected duration per tower, the
+// tower's location (from the topology feed), and the postcode/county from
+// the administrative join. A UserDayObservation is that joined record for
+// one user-day — the unit the analysis library (entropy, gyration, home
+// detection, relocation matrix) computes on. The simulator streams these
+// day by day so nothing user-level is retained beyond what an aggregation
+// needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/geodesy.h"
+#include "common/ids.h"
+#include "common/simtime.h"
+
+namespace cellscope::telemetry {
+
+// A user's aggregate presence at one tower on one day.
+struct TowerStay {
+  SiteId site;
+  LatLon location;       // tower location from the topology feed
+  CountyId county;       // administrative join
+  PostcodeDistrictId district;
+  float hours = 0.0f;    // total connected duration (24h window)
+  // Hours within each of the paper's six 4-hour bins.
+  std::array<float, kFourHourBinsPerDay> bin_hours{};
+  // Hours within the home-detection nighttime window (00:00-08:00).
+  float night_hours = 0.0f;
+};
+
+struct UserDayObservation {
+  UserId user;
+  SimDay day = 0;
+  std::vector<TowerStay> stays;
+
+  [[nodiscard]] bool empty() const { return stays.empty(); }
+  [[nodiscard]] float total_hours() const {
+    float total = 0.0f;
+    for (const auto& s : stays) total += s.hours;
+    return total;
+  }
+};
+
+}  // namespace cellscope::telemetry

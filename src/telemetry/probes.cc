@@ -1,0 +1,60 @@
+#include "telemetry/probes.h"
+
+namespace cellscope::telemetry {
+
+std::uint64_t DailySignalingCounts::total_events() const {
+  std::uint64_t sum = 0;
+  for (const auto n : total) sum += n;
+  return sum;
+}
+
+double DailySignalingCounts::failure_rate(
+    traffic::SignalingEventType type) const {
+  const auto i = static_cast<int>(type);
+  if (total[i] == 0) return 0.0;
+  return static_cast<double>(failures[i]) / static_cast<double>(total[i]);
+}
+
+void SignalingProbe::on_event(const traffic::SignalingEvent& event) {
+  const SimDay day = day_of(event.hour);
+  if (days_.empty() || days_.back().day != day) {
+    days_.emplace_back();
+    days_.back().day = day;
+  }
+  auto& counts = days_.back();
+  const auto i = static_cast<int>(event.type);
+  ++counts.total[i];
+  if (!event.success) ++counts.failures[i];
+}
+
+void SignalingProbe::merge(const SignalingProbe& other) {
+  // Merge two day-sorted count lists.
+  std::vector<DailySignalingCounts> merged;
+  merged.reserve(days_.size() + other.days_.size());
+  std::size_t a = 0, b = 0;
+  while (a < days_.size() || b < other.days_.size()) {
+    if (b >= other.days_.size() ||
+        (a < days_.size() && days_[a].day < other.days_[b].day)) {
+      merged.push_back(days_[a++]);
+    } else if (a >= days_.size() || other.days_[b].day < days_[a].day) {
+      merged.push_back(other.days_[b++]);
+    } else {
+      DailySignalingCounts combined = days_[a++];
+      const DailySignalingCounts& extra = other.days_[b++];
+      for (int t = 0; t < traffic::kSignalingEventTypeCount; ++t) {
+        combined.total[t] += extra.total[t];
+        combined.failures[t] += extra.failures[t];
+      }
+      merged.push_back(combined);
+    }
+  }
+  days_ = std::move(merged);
+}
+
+const DailySignalingCounts* SignalingProbe::day(SimDay day) const {
+  for (const auto& d : days_)
+    if (d.day == day) return &d;
+  return nullptr;
+}
+
+}  // namespace cellscope::telemetry

@@ -1,0 +1,47 @@
+// Passive signaling probes.
+//
+// The measurement infrastructure taps the MME / MSC / SGSN-SGW interfaces
+// (Fig 1 of the paper) and sees every control-plane event. SignalingProbe
+// is the in-memory aggregation point: per-day counters per event type and
+// result code, so operations dashboards (and tests) can ask "how many
+// attaches failed on day X" without retaining the raw event stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/simtime.h"
+#include "traffic/core_network.h"
+
+namespace cellscope::telemetry {
+
+struct DailySignalingCounts {
+  SimDay day = 0;
+  std::array<std::uint64_t, traffic::kSignalingEventTypeCount> total{};
+  std::array<std::uint64_t, traffic::kSignalingEventTypeCount> failures{};
+
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] double failure_rate(traffic::SignalingEventType type) const;
+};
+
+class SignalingProbe final : public traffic::SignalingSink {
+ public:
+  void on_event(const traffic::SignalingEvent& event) override;
+
+  // Days appear in insertion (chronological) order.
+  [[nodiscard]] const std::vector<DailySignalingCounts>& days() const {
+    return days_;
+  }
+  [[nodiscard]] const DailySignalingCounts* day(SimDay day) const;
+
+  // Adds another probe's counters into this one (used to combine the
+  // per-worker probes of a parallel simulation). Both probes must hold
+  // chronologically ordered days.
+  void merge(const SignalingProbe& other);
+
+ private:
+  std::vector<DailySignalingCounts> days_;
+};
+
+}  // namespace cellscope::telemetry

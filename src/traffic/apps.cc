@@ -1,0 +1,72 @@
+#include "traffic/apps.h"
+
+namespace cellscope::traffic {
+
+namespace {
+constexpr std::array<std::string_view, kAppClassCount> kNames = {
+    "video streaming", "web/social", "conferencing", "gaming", "background"};
+
+constexpr std::array<AppProfile, kAppClassCount> kProfiles = {{
+    {.qci = 8, .dl_rate_mbps = 4.5, .ul_ratio = 0.03},  // video streaming
+    {.qci = 8, .dl_rate_mbps = 2.0, .ul_ratio = 0.10},  // web/social
+    {.qci = 7, .dl_rate_mbps = 1.5, .ul_ratio = 0.85},  // conferencing
+    {.qci = 7, .dl_rate_mbps = 1.0, .ul_ratio = 0.30},  // gaming
+    {.qci = 8, .dl_rate_mbps = 0.8, .ul_ratio = 0.25},  // background
+}};
+
+// Hourly activity weights (normalized to mean 1.0 across 24 h).
+constexpr std::array<double, 24> kWeekdayDiurnal = {
+    0.20, 0.12, 0.08, 0.06, 0.08, 0.20, 0.55, 0.95,  // 00-07
+    1.20, 1.25, 1.20, 1.25, 1.40, 1.35, 1.25, 1.25,  // 08-15
+    1.35, 1.55, 1.75, 1.90, 1.95, 1.75, 1.20, 0.60,  // 16-23
+};
+constexpr std::array<double, 24> kWeekendDiurnal = {
+    0.30, 0.18, 0.10, 0.07, 0.07, 0.10, 0.25, 0.55,  // 00-07
+    0.90, 1.15, 1.30, 1.40, 1.45, 1.40, 1.35, 1.35,  // 08-15
+    1.40, 1.50, 1.65, 1.80, 1.85, 1.70, 1.25, 0.75,  // 16-23
+};
+// Throttling factor on streaming DL rate (EU quality reduction: SD instead
+// of HD on cellular, where rates were already adaptive).
+constexpr double kThrottleFactor = 0.90;
+}  // namespace
+
+std::string_view app_name(AppClass app) {
+  return kNames[static_cast<int>(app)];
+}
+
+const AppProfile& app_profile(AppClass app) {
+  return kProfiles[static_cast<int>(app)];
+}
+
+double diurnal_weight(int hour_of_day, bool weekend) {
+  return (weekend ? kWeekendDiurnal : kWeekdayDiurnal)[hour_of_day];
+}
+
+std::array<double, kAppClassCount> app_mix(bool restricted) {
+  // Cellular volume shares. Under restrictions the heavy streaming happens
+  // at home on WiFi; what remains on cellular leans to web/social and
+  // conferencing.
+  if (!restricted) return {0.48, 0.30, 0.08, 0.06, 0.08};
+  return {0.46, 0.30, 0.10, 0.06, 0.08};
+}
+
+double mix_app_rate_mbps(const std::array<double, kAppClassCount>& mix,
+                         bool throttled) {
+  double rate = 0.0;
+  for (int i = 0; i < kAppClassCount; ++i) {
+    double r = kProfiles[i].dl_rate_mbps;
+    if (throttled && static_cast<AppClass>(i) == AppClass::kVideoStreaming)
+      r *= kThrottleFactor;
+    rate += mix[i] * r;
+  }
+  return rate;
+}
+
+double mix_ul_ratio(const std::array<double, kAppClassCount>& mix) {
+  double ratio = 0.0;
+  for (int i = 0; i < kAppClassCount; ++i)
+    ratio += mix[i] * kProfiles[i].ul_ratio;
+  return ratio;
+}
+
+}  // namespace cellscope::traffic

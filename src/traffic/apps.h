@@ -1,0 +1,60 @@
+// Application traffic classes.
+//
+// The cellular bearers of Section 2.4 carry a mix of applications with very
+// different downlink/uplink symmetry and rate needs. The paper's traffic
+// findings hinge on that mix: downlink-heavy video streaming migrated to
+// home WiFi (cellular DL -24%), symmetric conferencing/voice grew, and
+// content providers throttled video quality ("application limited"
+// throughput). This module defines the app classes, their QCI mapping,
+// diurnal activity profiles and the mix shifts the pandemic induced.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/simtime.h"
+
+namespace cellscope::traffic {
+
+enum class AppClass : std::uint8_t {
+  kVideoStreaming = 0,  // QCI 8, DL-heavy
+  kWebSocial,           // QCI 8, DL-leaning
+  kConferencing,        // QCI 7, symmetric (video calls, VoIP-over-data)
+  kGaming,              // QCI 7, light but latency-sensitive
+  kBackground,          // QCI 9-ish; modeled within QCI 8 bucket
+};
+inline constexpr int kAppClassCount = 5;
+
+[[nodiscard]] std::string_view app_name(AppClass app);
+
+struct AppProfile {
+  // LTE QoS Class Identifier of the bearer this app rides on (2..8 here;
+  // QCI 1 is conversational voice, owned by the voice model).
+  int qci = 8;
+  // Typical application-limited DL rate while active, Mbit/s.
+  double dl_rate_mbps = 2.0;
+  // UL volume as a fraction of DL volume.
+  double ul_ratio = 0.08;
+};
+
+[[nodiscard]] const AppProfile& app_profile(AppClass app);
+
+// Hour-of-day activity weight (sums to 24 over the day): morning shoulder,
+// evening peak. Weekends are flatter with a later start.
+[[nodiscard]] double diurnal_weight(int hour_of_day, bool weekend);
+
+// App mix (fractions of cellular data volume) for a given day: under
+// restrictions, streaming's cellular share shrinks and conferencing's
+// grows. `restricted` = venues closed / lockdown in force.
+[[nodiscard]] std::array<double, kAppClassCount> app_mix(bool restricted);
+
+// Mean application-limited DL rate of the mix, Mbit/s; `throttled` applies
+// the providers' pandemic quality reduction to streaming-class apps.
+[[nodiscard]] double mix_app_rate_mbps(const std::array<double, kAppClassCount>& mix,
+                                       bool throttled);
+
+// UL/DL ratio of the mix.
+[[nodiscard]] double mix_ul_ratio(const std::array<double, kAppClassCount>& mix);
+
+}  // namespace cellscope::traffic

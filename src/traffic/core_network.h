@@ -1,0 +1,90 @@
+// Core-network signaling generation.
+//
+// The paper's General Signaling Dataset (Section 2.2) captures control-plane
+// events — Attach, Authentication, Session establishment, dedicated bearer
+// establishment/deletion, TAU, ECM-IDLE transitions, Service Requests,
+// Handover, Detach — each tagged with the anonymized user id, SIM MCC/MNC,
+// device TAC, serving sector, timestamp and result code. This module
+// generates that event stream from the day's (cell-resolved) stays and the
+// hour's data/voice activity, streaming into a sink so that memory stays
+// bounded at national scale.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/simtime.h"
+#include "population/subscriber.h"
+
+namespace cellscope::traffic {
+
+enum class SignalingEventType : std::uint8_t {
+  kAttach = 0,
+  kAuthentication,
+  kSessionEstablishment,
+  kDedicatedBearerSetup,    // e.g. QCI-1 bearer for a VoLTE call
+  kDedicatedBearerRelease,
+  kTrackingAreaUpdate,
+  kEcmIdleTransition,
+  kServiceRequest,
+  kHandover,
+  kDetach,
+};
+inline constexpr int kSignalingEventTypeCount = 10;
+
+[[nodiscard]] std::string_view signaling_event_name(SignalingEventType type);
+
+struct SignalingEvent {
+  UserId user;
+  Tac tac;
+  std::uint16_t mcc = 0;
+  std::uint16_t mnc = 0;
+  CellId cell;
+  SimHour hour = 0;
+  SignalingEventType type = SignalingEventType::kAttach;
+  bool success = true;
+};
+
+// Where generated events go (telemetry probes implement this).
+class SignalingSink {
+ public:
+  virtual ~SignalingSink() = default;
+  virtual void on_event(const SignalingEvent& event) = 0;
+};
+
+// A user's stay resolved to its serving cell.
+struct CellStay {
+  CellId cell;
+  std::uint8_t start_hour = 0;
+  std::uint8_t end_hour = 24;
+};
+
+struct SignalingParams {
+  // Home-network identity (O2 UK uses MCC 234 / MNC 10).
+  std::uint16_t home_mcc = 234;
+  std::uint16_t home_mnc = 10;
+  double attach_failure_rate = 0.004;
+  double handover_share = 0.35;  // cell changes that are active-mode HOs
+  double daily_detach_probability = 0.10;
+};
+
+class SignalingGenerator {
+ public:
+  explicit SignalingGenerator(const SignalingParams& params = {});
+
+  // Emits the control-plane events for one user-day. `stays` must be the
+  // day's cell-resolved stays in time order; `active_data_hours` and
+  // `voice_calls` shape Service Request / dedicated-bearer event volumes.
+  void generate_day(const population::Subscriber& user,
+                    std::span<const CellStay> stays, SimDay day,
+                    int active_data_hours, int voice_calls, Rng& rng,
+                    SignalingSink& sink) const;
+
+  [[nodiscard]] const SignalingParams& params() const { return params_; }
+
+ private:
+  SignalingParams params_;
+};
+
+}  // namespace cellscope::traffic

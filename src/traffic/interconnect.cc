@@ -1,0 +1,40 @@
+#include "traffic/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cellscope::traffic {
+
+VoiceInterconnect::VoiceInterconnect(const InterconnectParams& params)
+    : params_(params) {
+  if (params_.baseline_capacity <= 0.0)
+    throw std::invalid_argument(
+        "InterconnectParams: baseline_capacity must be > 0");
+}
+
+void VoiceInterconnect::calibrate(double busy_hour_offnet_minutes,
+                                  double headroom) {
+  if (busy_hour_offnet_minutes <= 0.0)
+    throw std::invalid_argument(
+        "VoiceInterconnect::calibrate: busy-hour minutes must be > 0");
+  params_.baseline_capacity = busy_hour_offnet_minutes * (1.0 + headroom);
+}
+
+double VoiceInterconnect::capacity(SimDay day) const {
+  return day >= params_.upgrade_day
+             ? params_.baseline_capacity * params_.upgrade_factor
+             : params_.baseline_capacity;
+}
+
+double VoiceInterconnect::dl_loss_pct(SimDay day,
+                                      double offered_offnet_minutes) const {
+  if (offered_offnet_minutes <= 0.0) return 0.0;
+  const double util = offered_offnet_minutes / capacity(day);
+  const double loss =
+      params_.base_loss_pct *
+      std::exp(params_.steepness * (util - params_.knee_utilization));
+  return std::clamp(loss, 0.0, params_.max_loss_pct);
+}
+
+}  // namespace cellscope::traffic

@@ -1,0 +1,54 @@
+// Inter-MNO voice interconnection infrastructure.
+//
+// MNOs exchange off-net voice traffic over dimensioned trunk groups.
+// Section 4.2 attributes the weeks-10..12 downlink voice packet loss spike
+// to this infrastructure: the surge exceeded trunk capacity until operators
+// expanded it ("rapid response of the network operations"). The model keeps
+// a national trunk group with a capacity timeline (baseline dimensioning,
+// then an emergency expansion effective with week 13) and converts hourly
+// utilization into a loss percentage via a soft-congestion curve.
+#pragma once
+
+#include "common/simtime.h"
+
+namespace cellscope::traffic {
+
+struct InterconnectParams {
+  // Trunk capacity in off-net voice minutes per hour. Dimensioned with
+  // ~15% headroom over the pre-pandemic busy-hour load; set by calibrate().
+  double baseline_capacity = 1.0;
+  // Capacity multiplier once the emergency expansion is live.
+  double upgrade_factor = 2.6;
+  // First day the expanded capacity is in service (week 13 Monday).
+  SimDay upgrade_day = timeline::kLockdownOrder;
+  // Soft congestion curve: loss_pct = base * exp(steepness * (util - knee)),
+  // capped. Gives a small residual loss in normal operation and a steep
+  // rise past the knee; the cap models alternate routing / overflow trunks
+  // bounding the damage.
+  double base_loss_pct = 0.12;
+  double knee_utilization = 0.90;
+  double steepness = 7.0;
+  double max_loss_pct = 1.2;
+};
+
+class VoiceInterconnect {
+ public:
+  explicit VoiceInterconnect(const InterconnectParams& params = {});
+
+  // Sets baseline_capacity to (1 + headroom) x the given busy-hour off-net
+  // minutes (the operator's dimensioning exercise).
+  void calibrate(double busy_hour_offnet_minutes, double headroom = 0.08);
+
+  [[nodiscard]] double capacity(SimDay day) const;
+
+  // Loss on the interconnect for the hour, given offered off-net minutes.
+  [[nodiscard]] double dl_loss_pct(SimDay day,
+                                   double offered_offnet_minutes) const;
+
+  [[nodiscard]] const InterconnectParams& params() const { return params_; }
+
+ private:
+  InterconnectParams params_;
+};
+
+}  // namespace cellscope::traffic

@@ -1,0 +1,57 @@
+#include "traffic/voice.h"
+
+#include <array>
+#include <cmath>
+
+namespace cellscope::traffic {
+
+namespace {
+// Voice concentrates in daytime and early evening.
+constexpr std::array<double, 24> kVoiceDiurnal = {
+    0.05, 0.03, 0.02, 0.02, 0.03, 0.10, 0.35, 0.80,  // 00-07
+    1.30, 1.60, 1.70, 1.70, 1.60, 1.55, 1.50, 1.45,  // 08-15
+    1.50, 1.65, 1.80, 1.70, 1.35, 0.95, 0.55, 0.20,  // 16-23
+};
+}  // namespace
+
+VoiceModel::VoiceModel(const mobility::PolicyTimeline& policy,
+                       const VoiceParams& params)
+    : policy_(policy), params_(params) {}
+
+double VoiceModel::diurnal_weight(int hour_of_day) {
+  return kVoiceDiurnal[hour_of_day];
+}
+
+HourVoice VoiceModel::sample_hour(const population::Subscriber& user,
+                                  SimDay day, int hour_of_day,
+                                  Rng& rng) const {
+  HourVoice voice;
+  if (!user.smartphone) return voice;  // M2M SIMs carry no conversations
+
+  // Archetype appetite: retirees call more, students less.
+  double appetite = 1.0;
+  switch (user.archetype) {
+    case population::Archetype::kRetiree: appetite = 1.5; break;
+    case population::Archetype::kStudent: appetite = 0.6; break;
+    case population::Archetype::kSeasonalResident: appetite = 0.8; break;
+    default: break;
+  }
+
+  const double mean_minutes = params_.daily_minutes / 24.0 * appetite *
+                              diurnal_weight(hour_of_day) *
+                              policy_.voice_demand_multiplier(day);
+  // Call minutes arrive in bursts: Poisson call count x exponential holding.
+  const auto calls = rng.poisson(mean_minutes / 3.0);
+  for (std::uint64_t c = 0; c < calls; ++c)
+    voice.minutes += rng.exponential(3.0);
+  if (voice.minutes <= 0.0) return voice;
+  voice.minutes = std::min(voice.minutes, 60.0);
+
+  voice.dl_mb = voice.minutes * params_.mb_per_minute;
+  voice.ul_mb = voice.minutes * params_.mb_per_minute;
+  voice.in_call_seconds = voice.minutes * 60.0;
+  voice.offnet_fraction = params_.offnet_fraction;
+  return voice;
+}
+
+}  // namespace cellscope::traffic

@@ -1,0 +1,55 @@
+// Conversational voice (QCI 1) model.
+//
+// Voice is the paper's headline anomaly: while data shrank, 4G voice
+// (VoLTE) volume spiked ~+140% around week 12 — "seven years of growth in
+// the space of a few days" — congesting the inter-MNO interconnect.
+// The model produces per-(user, hour) call minutes from a diurnal profile,
+// the archetype's baseline appetite, and the policy's voice multiplier;
+// minutes convert to VoLTE volume at a constant codec rate, symmetric
+// UL/DL. A fraction of minutes is off-net and traverses the interconnect.
+#pragma once
+
+#include "common/rng.h"
+#include "common/simtime.h"
+#include "mobility/policy.h"
+#include "population/subscriber.h"
+
+namespace cellscope::traffic {
+
+struct VoiceParams {
+  // Baseline daily conversational minutes per (adult) user.
+  double daily_minutes = 12.0;
+  // VoLTE volume per minute per direction (AMR-WB + RTP/IP overhead), MB.
+  double mb_per_minute = 0.16;
+  // Fraction of minutes terminating on another operator's network.
+  double offnet_fraction = 0.55;
+};
+
+struct HourVoice {
+  double minutes = 0.0;
+  double dl_mb = 0.0;
+  double ul_mb = 0.0;
+  double in_call_seconds = 0.0;
+  double offnet_fraction = 0.0;
+};
+
+class VoiceModel {
+ public:
+  VoiceModel(const mobility::PolicyTimeline& policy,
+             const VoiceParams& params = {});
+
+  [[nodiscard]] HourVoice sample_hour(const population::Subscriber& user,
+                                      SimDay day, int hour_of_day,
+                                      Rng& rng) const;
+
+  // Hourly voice activity weight (normalized to mean 1 over 24h).
+  [[nodiscard]] static double diurnal_weight(int hour_of_day);
+
+  [[nodiscard]] const VoiceParams& params() const { return params_; }
+
+ private:
+  const mobility::PolicyTimeline& policy_;
+  VoiceParams params_;
+};
+
+}  // namespace cellscope::traffic

@@ -1,0 +1,64 @@
+// Grouped mobility aggregation.
+#include <gtest/gtest.h>
+
+#include "analysis/aggregation.h"
+
+namespace cellscope::analysis {
+namespace {
+
+TEST(GroupedDailySeries, GroupsAreIndependent) {
+  GroupedDailySeries series{3, 0, 13};
+  series.add(0, 2, 10.0);
+  series.add(1, 2, 100.0);
+  EXPECT_DOUBLE_EQ(series.group(0).value(2), 10.0);
+  EXPECT_DOUBLE_EQ(series.group(1).value(2), 100.0);
+  EXPECT_FALSE(series.group(2).has(2));
+  EXPECT_EQ(series.group_count(), 3u);
+}
+
+TEST(GroupedDailySeries, AddAveragesWithinGroupDay) {
+  GroupedDailySeries series{1, 0, 6};
+  series.add(0, 1, 2.0);
+  series.add(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(series.group(0).value(1), 3.0);
+}
+
+TEST(GroupedDailySeries, WeekBaselineIsMeanOfDailyAverages) {
+  GroupedDailySeries series{1, 0, 6};  // week 6
+  for (SimDay d = 0; d < 7; ++d) series.add(0, d, double(d));
+  EXPECT_DOUBLE_EQ(series.week_baseline(0, 6), 3.0);
+}
+
+TEST(GroupedDailySeries, DailyDeltaAgainstExternalBaseline) {
+  GroupedDailySeries series{2, 0, 6};
+  series.add(0, 0, 50.0);
+  series.add(0, 1, 100.0);
+  const auto delta = series.daily_delta(0, 100.0);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_DOUBLE_EQ(delta[0].value, -50.0);
+  EXPECT_DOUBLE_EQ(delta[1].value, 0.0);
+}
+
+TEST(GroupedDailySeries, WeeklyDeltaUsesMedians) {
+  GroupedDailySeries series{1, 0, 13};
+  for (SimDay d = 0; d < 7; ++d) series.add(0, d, 10.0);
+  for (SimDay d = 7; d < 14; ++d) series.add(0, d, 15.0);
+  const auto weekly = series.weekly_delta(0, 10.0, 6, 7);
+  ASSERT_EQ(weekly.size(), 2u);
+  EXPECT_DOUBLE_EQ(weekly[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(weekly[1].value, 50.0);
+}
+
+TEST(GroupedDailySeries, OutOfRangeGroupThrows) {
+  GroupedDailySeries series{2, 0, 6};
+  EXPECT_THROW(series.add(5, 0, 1.0), std::out_of_range);
+  EXPECT_THROW((void)series.group(5), std::out_of_range);
+}
+
+TEST(GroupedDailySeries, DefaultConstructedIsEmpty) {
+  GroupedDailySeries series;
+  EXPECT_EQ(series.group_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

@@ -1,0 +1,101 @@
+// Application mix, diurnal profiles, throttling.
+#include <gtest/gtest.h>
+
+#include "traffic/apps.h"
+
+namespace cellscope::traffic {
+namespace {
+
+TEST(Apps, NamesAndProfiles) {
+  for (int i = 0; i < kAppClassCount; ++i) {
+    const auto app = static_cast<AppClass>(i);
+    EXPECT_FALSE(app_name(app).empty());
+    const auto& profile = app_profile(app);
+    EXPECT_GE(profile.qci, 1);
+    EXPECT_LE(profile.qci, 8);
+    EXPECT_GT(profile.dl_rate_mbps, 0.0);
+    EXPECT_GT(profile.ul_ratio, 0.0);
+  }
+}
+
+TEST(Apps, StreamingIsDlHeavyConferencingSymmetric) {
+  EXPECT_LT(app_profile(AppClass::kVideoStreaming).ul_ratio, 0.1);
+  EXPECT_GT(app_profile(AppClass::kConferencing).ul_ratio, 0.5);
+  EXPECT_GT(app_profile(AppClass::kVideoStreaming).dl_rate_mbps,
+            app_profile(AppClass::kWebSocial).dl_rate_mbps);
+}
+
+TEST(Apps, MixSumsToOne) {
+  for (const bool restricted : {false, true}) {
+    const auto mix = app_mix(restricted);
+    double total = 0.0;
+    for (const double share : mix) {
+      EXPECT_GE(share, 0.0);
+      total += share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Apps, RestrictionShiftsTowardConferencing) {
+  const auto normal = app_mix(false);
+  const auto restricted = app_mix(true);
+  const auto conf = static_cast<int>(AppClass::kConferencing);
+  const auto video = static_cast<int>(AppClass::kVideoStreaming);
+  EXPECT_GT(restricted[conf], normal[conf]);
+  EXPECT_LE(restricted[video], normal[video]);
+}
+
+TEST(Apps, DiurnalProfilesAverageToOne) {
+  for (const bool weekend : {false, true}) {
+    double total = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      const double w = diurnal_weight(h, weekend);
+      EXPECT_GT(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total / 24.0, 1.0, 0.05);
+  }
+}
+
+TEST(Apps, EveningPeakAndNightTrough) {
+  for (const bool weekend : {false, true}) {
+    EXPECT_GT(diurnal_weight(20, weekend), diurnal_weight(3, weekend));
+    EXPECT_GT(diurnal_weight(20, weekend), 1.0);
+    EXPECT_LT(diurnal_weight(3, weekend), 0.3);
+  }
+}
+
+TEST(Apps, WeekendMorningsStartLater) {
+  EXPECT_LT(diurnal_weight(7, true), diurnal_weight(7, false));
+}
+
+TEST(Apps, ThrottlingReducesMixRate) {
+  const auto mix = app_mix(true);
+  const double normal = mix_app_rate_mbps(mix, false);
+  const double throttled = mix_app_rate_mbps(mix, true);
+  EXPECT_LT(throttled, normal);
+  // Section 4.1: at most ~10% throughput effect at mix level.
+  EXPECT_GT(throttled, 0.80 * normal);
+}
+
+TEST(Apps, MixRateAndUlRatioAreConvexCombinations) {
+  const auto mix = app_mix(false);
+  const double rate = mix_app_rate_mbps(mix, false);
+  const double ul = mix_ul_ratio(mix);
+  double min_rate = 1e9, max_rate = 0.0, min_ul = 1e9, max_ul = 0.0;
+  for (int i = 0; i < kAppClassCount; ++i) {
+    const auto& p = app_profile(static_cast<AppClass>(i));
+    min_rate = std::min(min_rate, p.dl_rate_mbps);
+    max_rate = std::max(max_rate, p.dl_rate_mbps);
+    min_ul = std::min(min_ul, p.ul_ratio);
+    max_ul = std::max(max_ul, p.ul_ratio);
+  }
+  EXPECT_GE(rate, min_rate);
+  EXPECT_LE(rate, max_rate);
+  EXPECT_GE(ul, min_ul);
+  EXPECT_LE(ul, max_ul);
+}
+
+}  // namespace
+}  // namespace cellscope::traffic

@@ -1,0 +1,33 @@
+// Census views used by the Fig 2 validation.
+#include <gtest/gtest.h>
+
+#include "geo/census.h"
+
+namespace cellscope::geo {
+namespace {
+
+TEST(Census, ByLadCoversAllLads) {
+  const auto geography = UkGeography::build();
+  const auto rows = census_by_lad(geography);
+  ASSERT_EQ(rows.size(), geography.lads().size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].lad.value(), i);
+    EXPECT_EQ(rows[i].name, geography.lad(rows[i].lad).name);
+    EXPECT_EQ(rows[i].census_population,
+              geography.lad(rows[i].lad).census_population);
+    total += rows[i].census_population;
+  }
+  EXPECT_EQ(total, geography.census_total());
+}
+
+TEST(Census, ExpectedMarketShare) {
+  const auto geography = UkGeography::build();
+  const auto total = geography.census_total();
+  EXPECT_DOUBLE_EQ(expected_market_share(geography, total), 1.0);
+  EXPECT_NEAR(expected_market_share(geography, total / 4), 0.25, 1e-6);
+  EXPECT_DOUBLE_EQ(expected_market_share(geography, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace cellscope::geo

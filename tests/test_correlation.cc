@@ -1,0 +1,110 @@
+// Fig 4 scatter construction and series correlations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/correlation.h"
+
+namespace cellscope::analysis {
+namespace {
+
+TEST(EntropyCasesScatter, OnePointPerRecordedDay) {
+  DailySeries entropy{0, 20};
+  for (SimDay d = 0; d <= 20; ++d)
+    if (d != 10) entropy.set(d, 1.0);  // gap on day 10
+  mobility::EpidemicCurve epidemic;
+  const auto scatter = entropy_cases_scatter(entropy, 1.0, epidemic, 0, 20);
+  EXPECT_EQ(scatter.size(), 20u);
+  for (const auto& p : scatter) {
+    EXPECT_NE(p.day, 10);
+    EXPECT_DOUBLE_EQ(p.entropy_delta_pct, 0.0);
+    EXPECT_GT(p.cumulative_cases, 0.0);
+    EXPECT_EQ(p.weekend, is_weekend(p.day));
+  }
+}
+
+TEST(EntropyCasesScatter, RespectsRequestedWindow) {
+  DailySeries entropy{0, 50};
+  for (SimDay d = 0; d <= 50; ++d) entropy.set(d, 2.0);
+  mobility::EpidemicCurve epidemic;
+  const auto scatter = entropy_cases_scatter(entropy, 2.0, epidemic, 10, 20);
+  ASSERT_EQ(scatter.size(), 11u);
+  EXPECT_EQ(scatter.front().day, 10);
+  EXPECT_EQ(scatter.back().day, 20);
+}
+
+TEST(EntropyCasesScatter, DeltaUsesBaseline) {
+  DailySeries entropy{0, 1};
+  entropy.set(0, 0.5);
+  entropy.set(1, 1.5);
+  mobility::EpidemicCurve epidemic;
+  const auto scatter = entropy_cases_scatter(entropy, 1.0, epidemic, 0, 1);
+  ASSERT_EQ(scatter.size(), 2u);
+  EXPECT_DOUBLE_EQ(scatter[0].entropy_delta_pct, -50.0);
+  EXPECT_DOUBLE_EQ(scatter[1].entropy_delta_pct, 50.0);
+}
+
+TEST(ScatterCorrelation, DetectsMonotoneRelation) {
+  std::vector<ScatterPoint> points;
+  for (int i = 0; i < 30; ++i) {
+    ScatterPoint p;
+    p.day = i;
+    p.cumulative_cases = 100.0 * i;
+    p.entropy_delta_pct = -0.5 * i;  // perfectly anti-correlated
+    points.push_back(p);
+  }
+  EXPECT_NEAR(scatter_correlation(points), -1.0, 1e-9);
+}
+
+TEST(ScatterCorrelation, StepFunctionDecorrelates) {
+  // The paper's pattern: entropy steps down once and stays flat while cases
+  // keep growing exponentially afterwards — |r| well below 1.
+  std::vector<ScatterPoint> points;
+  for (int i = 0; i < 60; ++i) {
+    ScatterPoint p;
+    p.day = i;
+    p.cumulative_cases = std::exp(0.2 * i);
+    p.entropy_delta_pct = i < 10 ? 0.0 : -50.0;
+    points.push_back(p);
+  }
+  EXPECT_GT(scatter_correlation(points), -0.6);
+}
+
+TEST(SeriesCorrelation, OverlappingDaysOnly) {
+  DailySeries a{0, 10};
+  DailySeries b{5, 15};
+  for (SimDay d = 0; d <= 10; ++d) a.set(d, double(d));
+  for (SimDay d = 5; d <= 15; ++d) b.set(d, double(2 * d));
+  EXPECT_NEAR(series_correlation(a, b), 1.0, 1e-9);
+}
+
+TEST(SeriesCorrelation, AntiCorrelated) {
+  DailySeries a{0, 20};
+  DailySeries b{0, 20};
+  for (SimDay d = 0; d <= 20; ++d) {
+    a.set(d, double(d));
+    b.set(d, double(100 - 3 * d));
+  }
+  EXPECT_NEAR(series_correlation(a, b), -1.0, 1e-9);
+}
+
+TEST(SeriesCorrelation, NoOverlapIsZero) {
+  DailySeries a{0, 4};
+  DailySeries b{10, 14};
+  for (SimDay d = 0; d <= 4; ++d) a.set(d, double(d));
+  for (SimDay d = 10; d <= 14; ++d) b.set(d, double(d));
+  EXPECT_DOUBLE_EQ(series_correlation(a, b), 0.0);
+}
+
+TEST(SeriesCorrelation, SkipsMissingDays) {
+  DailySeries a{0, 10};
+  DailySeries b{0, 10};
+  for (SimDay d = 0; d <= 10; ++d) {
+    if (d % 2 == 0) a.set(d, double(d));
+    b.set(d, double(d));
+  }
+  EXPECT_NEAR(series_correlation(a, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

@@ -1,0 +1,122 @@
+// Synthetic GSMA device catalog.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "population/device.h"
+
+namespace cellscope::population {
+namespace {
+
+TEST(DeviceCatalog, BuildIsDeterministic) {
+  const auto a = DeviceCatalog::build(7);
+  const auto b = DeviceCatalog::build(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.devices()[i].tac, b.devices()[i].tac);
+    EXPECT_EQ(a.devices()[i].model, b.devices()[i].model);
+  }
+}
+
+TEST(DeviceCatalog, ContainsAllThreeClasses) {
+  const auto catalog = DeviceCatalog::build(1);
+  int smart = 0, feature = 0, m2m = 0;
+  for (const auto& d : catalog.devices()) {
+    switch (d.device_class) {
+      case DeviceClass::kSmartphone: ++smart; break;
+      case DeviceClass::kFeaturePhone: ++feature; break;
+      case DeviceClass::kM2m: ++m2m; break;
+    }
+  }
+  EXPECT_GT(smart, 100);
+  EXPECT_GT(feature, 5);
+  EXPECT_GT(m2m, 10);
+}
+
+TEST(DeviceCatalog, LookupRoundTrip) {
+  const auto catalog = DeviceCatalog::build(2);
+  for (const auto& device : catalog.devices()) {
+    const auto found = catalog.lookup(device.tac);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->model, device.model);
+    EXPECT_EQ(found->device_class, device.device_class);
+  }
+}
+
+TEST(DeviceCatalog, LookupUnknownTac) {
+  const auto catalog = DeviceCatalog::build(3);
+  EXPECT_FALSE(catalog.lookup(Tac{1}).has_value());
+  EXPECT_FALSE(catalog.lookup(Tac::invalid()).has_value());
+  EXPECT_FALSE(
+      catalog.lookup(Tac{35'000'000 + 10'000'000}).has_value());
+}
+
+TEST(DeviceCatalog, IsSmartphoneFiltersCorrectly) {
+  const auto catalog = DeviceCatalog::build(4);
+  for (const auto& device : catalog.devices()) {
+    EXPECT_EQ(catalog.is_smartphone(device.tac),
+              device.device_class == DeviceClass::kSmartphone);
+  }
+  EXPECT_FALSE(catalog.is_smartphone(Tac{0}));
+}
+
+TEST(DeviceCatalog, HandsetSamplingIsMostlySmartphones) {
+  const auto catalog = DeviceCatalog::build(5);
+  Rng rng{42};
+  int smartphones = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i)
+    smartphones += catalog.is_smartphone(catalog.sample_handset(rng));
+  // ~97% smartphones (3% feature-phone residual).
+  EXPECT_NEAR(double(smartphones) / kN, 0.97, 0.02);
+}
+
+TEST(DeviceCatalog, M2mSamplingIsOnlyM2m) {
+  const auto catalog = DeviceCatalog::build(6);
+  Rng rng{43};
+  for (int i = 0; i < 500; ++i) {
+    const auto info = catalog.lookup(catalog.sample_m2m(rng));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->device_class, DeviceClass::kM2m);
+  }
+}
+
+TEST(DeviceCatalog, MarketShareIsZipfSkewed) {
+  const auto catalog = DeviceCatalog::build(7);
+  Rng rng{44};
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 20000; ++i)
+    ++counts[catalog.sample_handset(rng).value()];
+  // Top model clearly more popular than the tail.
+  int max_count = 0;
+  for (const auto& [tac, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 20000 / 50);
+  EXPECT_GT(counts.size(), 50u);  // but the tail is broad
+}
+
+TEST(DeviceCatalog, SmartphonesSupportLte) {
+  const auto catalog = DeviceCatalog::build(8);
+  for (const auto& device : catalog.devices()) {
+    if (device.device_class == DeviceClass::kSmartphone) {
+      EXPECT_TRUE(device.supports_4g) << device.model;
+    }
+    if (device.device_class == DeviceClass::kFeaturePhone) {
+      EXPECT_FALSE(device.supports_4g) << device.model;
+    }
+  }
+}
+
+TEST(DeviceCatalog, AppleRunsIos) {
+  const auto catalog = DeviceCatalog::build(9);
+  for (const auto& device : catalog.devices()) {
+    if (device.vendor == "Apple") {
+      EXPECT_EQ(device.os, "iOS");
+    }
+    if (device.device_class == DeviceClass::kM2m) {
+      EXPECT_EQ(device.os, "RTOS");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cellscope::population

@@ -1,0 +1,75 @@
+// Per-day distribution bands.
+#include <gtest/gtest.h>
+
+#include "analysis/distribution.h"
+
+namespace cellscope::analysis {
+namespace {
+
+TEST(DistributionSeries, SealComputesSummary) {
+  DistributionSeries series{0, 6};
+  for (int i = 1; i <= 100; ++i) series.add(3, double(i));
+  EXPECT_FALSE(series.has(3));  // not sealed yet
+  series.seal_day(3);
+  ASSERT_TRUE(series.has(3));
+  const auto& s = series.day_summary(3);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_LT(s.p10, s.p90);
+}
+
+TEST(DistributionSeries, AddAfterSealThrows) {
+  DistributionSeries series{0, 6};
+  series.add(0, 1.0);
+  series.seal_day(0);
+  EXPECT_THROW(series.add(0, 2.0), std::logic_error);
+  // Sealing twice is a no-op.
+  EXPECT_NO_THROW(series.seal_day(0));
+}
+
+TEST(DistributionSeries, EmptySealedDayHasNoData) {
+  DistributionSeries series{0, 6};
+  series.seal_day(2);
+  EXPECT_FALSE(series.has(2));
+  EXPECT_FALSE(series.has(100));  // out of range
+}
+
+TEST(DistributionSeries, WeekBandsAverageDailySummaries) {
+  // Week 6 = days 0..6; two populations with different medians.
+  DistributionSeries series{0, 13};
+  for (SimDay d = 0; d < 7; ++d) {
+    for (int i = 0; i < 50; ++i)
+      series.add(d, d < 3 ? 10.0 : 20.0);  // 3 days at 10, 4 at 20
+    series.seal_day(d);
+  }
+  using Band = DistributionSeries::Band;
+  EXPECT_NEAR(series.week_band(6, Band::kMedian),
+              (3 * 10.0 + 4 * 20.0) / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series.week_band(7, Band::kMedian), 0.0);  // no data
+}
+
+TEST(DistributionSeries, IqrRatio) {
+  DistributionSeries series{0, 6};
+  for (SimDay d = 0; d < 7; ++d) {
+    for (int i = 1; i <= 101; ++i) series.add(d, double(i));
+    series.seal_day(d);
+  }
+  // Uniform 1..101: median 51, p25 = 26, p75 = 76 -> IQR/median = 50/51.
+  EXPECT_NEAR(series.week_iqr_ratio(6), 50.0 / 51.0, 1e-9);
+}
+
+TEST(DistributionSeries, ZeroMedianGivesZeroRatio) {
+  DistributionSeries series{0, 6};
+  for (SimDay d = 0; d < 7; ++d) {
+    series.add(d, 0.0);
+    series.seal_day(d);
+  }
+  EXPECT_DOUBLE_EQ(series.week_iqr_ratio(6), 0.0);
+}
+
+TEST(DistributionSeries, BadRangeThrows) {
+  EXPECT_THROW((DistributionSeries{5, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

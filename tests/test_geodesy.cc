@@ -1,0 +1,109 @@
+// Geographic primitives: distances, centroids, offsets.
+#include <gtest/gtest.h>
+
+#include "common/geodesy.h"
+
+namespace cellscope {
+namespace {
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  const LatLon p{51.5, -0.1};
+  EXPECT_DOUBLE_EQ(distance_km(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Distance, KnownUkDistances) {
+  // London (51.507, -0.128) to Manchester (53.483, -2.244): ~262 km.
+  const LatLon london{51.507, -0.128};
+  const LatLon manchester{53.483, -2.244};
+  EXPECT_NEAR(haversine_km(london, manchester), 262.0, 5.0);
+  EXPECT_NEAR(distance_km(london, manchester), 262.0, 5.0);
+}
+
+TEST(Distance, Symmetric) {
+  const LatLon a{51.5, -0.1}, b{52.2, 0.4};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+// Equirectangular error vs haversine stays < 0.5% at UK scales.
+struct PointPair {
+  LatLon a, b;
+};
+class EquirectangularErrorTest : public ::testing::TestWithParam<PointPair> {};
+
+TEST_P(EquirectangularErrorTest, CloseToHaversine) {
+  const auto& [a, b] = GetParam();
+  const double exact = haversine_km(a, b);
+  const double approx = distance_km(a, b);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_NEAR(approx / exact, 1.0, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UkScalePairs, EquirectangularErrorTest,
+    ::testing::Values(
+        PointPair{{51.5, -0.1}, {51.52, -0.12}},    // 2 km, city scale
+        PointPair{{51.5, -0.1}, {51.6, -0.3}},      // ~18 km, commute
+        PointPair{{51.5, -0.1}, {52.5, -1.9}},      // ~160 km, intercity
+        PointPair{{50.7, -3.5}, {53.8, -1.5}},      // ~370 km, country
+        PointPair{{51.0, 0.0}, {51.0, 1.0}},        // pure east-west
+        PointPair{{51.0, 0.0}, {52.0, 0.0}}));      // pure north-south
+
+TEST(WeightedCentroid, EqualWeights) {
+  const std::vector<LatLon> points = {{50.0, 0.0}, {52.0, 2.0}};
+  const std::vector<double> weights = {1.0, 1.0};
+  const LatLon cm = weighted_centroid(points, weights);
+  EXPECT_DOUBLE_EQ(cm.lat_deg, 51.0);
+  EXPECT_DOUBLE_EQ(cm.lon_deg, 1.0);
+}
+
+TEST(WeightedCentroid, WeightsPullTowardHeavyPoint) {
+  const std::vector<LatLon> points = {{50.0, 0.0}, {52.0, 0.0}};
+  const std::vector<double> weights = {3.0, 1.0};
+  const LatLon cm = weighted_centroid(points, weights);
+  EXPECT_DOUBLE_EQ(cm.lat_deg, 50.5);
+}
+
+TEST(WeightedCentroid, DegenerateInputs) {
+  EXPECT_EQ(weighted_centroid({}, {}), LatLon{});
+  const std::vector<LatLon> points = {{50.0, 1.0}};
+  const std::vector<double> zero = {0.0};
+  EXPECT_EQ(weighted_centroid(points, zero), (LatLon{50.0, 1.0}));
+}
+
+TEST(OffsetKm, RoundTripDistance) {
+  const LatLon origin{51.5, -0.1};
+  const LatLon east = offset_km(origin, 10.0, 0.0);
+  const LatLon north = offset_km(origin, 0.0, 10.0);
+  EXPECT_NEAR(distance_km(origin, east), 10.0, 0.05);
+  EXPECT_NEAR(distance_km(origin, north), 10.0, 0.05);
+  EXPECT_GT(east.lon_deg, origin.lon_deg);
+  EXPECT_NEAR(east.lat_deg, origin.lat_deg, 1e-12);
+  EXPECT_GT(north.lat_deg, origin.lat_deg);
+}
+
+TEST(OffsetKm, DiagonalPythagoras) {
+  const LatLon origin{53.0, -2.0};
+  const LatLon moved = offset_km(origin, 3.0, 4.0);
+  EXPECT_NEAR(distance_km(origin, moved), 5.0, 0.05);
+}
+
+TEST(BoundingBox, ContainsAndCenter) {
+  const BoundingBox box{50.0, -1.0, 52.0, 1.0};
+  EXPECT_TRUE(box.contains({51.0, 0.0}));
+  EXPECT_TRUE(box.contains({50.0, -1.0}));  // boundary inclusive
+  EXPECT_FALSE(box.contains({49.9, 0.0}));
+  EXPECT_FALSE(box.contains({51.0, 1.1}));
+  EXPECT_EQ(box.center(), (LatLon{51.0, 0.0}));
+  EXPECT_DOUBLE_EQ(box.width_deg(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height_deg(), 2.0);
+}
+
+TEST(Deg2Rad, KnownValues) {
+  EXPECT_DOUBLE_EQ(deg2rad(0.0), 0.0);
+  EXPECT_NEAR(deg2rad(180.0), 3.14159265358979, 1e-12);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,129 @@
+// Home detection: nighttime dominant tower with a minimum night count.
+#include <gtest/gtest.h>
+
+#include "analysis/home_detection.h"
+
+namespace cellscope::analysis {
+namespace {
+
+telemetry::UserDayObservation night_at(std::uint32_t user, SimDay day,
+                                       std::uint32_t site,
+                                       float night_hours = 8.0f,
+                                       std::uint32_t district = 3,
+                                       std::uint32_t county = 2) {
+  telemetry::UserDayObservation obs;
+  obs.user = UserId{user};
+  obs.day = day;
+  telemetry::TowerStay stay;
+  stay.site = SiteId{site};
+  stay.district = PostcodeDistrictId{district};
+  stay.county = CountyId{county};
+  stay.hours = night_hours + 8.0f;
+  stay.night_hours = night_hours;
+  obs.stays.push_back(stay);
+  return obs;
+}
+
+TEST(HomeDetection, RequiresMinimumNights) {
+  HomeDetector detector;  // default: 14 nights over February
+  for (SimDay d = 0; d < 13; ++d) detector.observe(night_at(1, d, 100));
+  EXPECT_FALSE(detector.home_of(UserId{1}).has_value());
+  detector.observe(night_at(1, 13, 100));  // the 14th night
+  ASSERT_TRUE(detector.home_of(UserId{1}).has_value());
+  EXPECT_EQ(detector.home_of(UserId{1})->home_site, SiteId{100});
+}
+
+TEST(HomeDetection, NightsNeedNotBeConsecutive) {
+  HomeDetector detector;
+  for (SimDay d = 0; d < 27; d += 2)  // 14 alternating nights within Feb
+    detector.observe(night_at(2, d, 50));
+  const auto home = detector.home_of(UserId{2});
+  ASSERT_TRUE(home.has_value());
+  EXPECT_EQ(home->nights_observed, 14);
+}
+
+TEST(HomeDetection, DominantNightTowerWins) {
+  HomeDetector detector;
+  for (SimDay d = 0; d < 20; ++d) {
+    auto obs = night_at(3, d, 10, 5.0f);
+    // A second tower with fewer night hours each night.
+    telemetry::TowerStay other;
+    other.site = SiteId{11};
+    other.district = PostcodeDistrictId{4};
+    other.county = CountyId{2};
+    other.hours = 3.0f;
+    other.night_hours = 3.0f;
+    obs.stays.push_back(other);
+    detector.observe(obs);
+  }
+  const auto home = detector.home_of(UserId{3});
+  ASSERT_TRUE(home.has_value());
+  EXPECT_EQ(home->home_site, SiteId{10});
+  EXPECT_DOUBLE_EQ(home->night_hours, 100.0);  // 20 nights x 5h
+}
+
+TEST(HomeDetection, ObservationsOutsideWindowIgnored) {
+  HomeDetectionParams params;
+  params.min_nights = 5;
+  params.first_day = 0;
+  params.end_day = 10;
+  HomeDetector detector{params};
+  for (SimDay d = 10; d < 30; ++d)  // all after the window
+    detector.observe(night_at(4, d, 77));
+  EXPECT_FALSE(detector.home_of(UserId{4}).has_value());
+  for (SimDay d = 0; d < 5; ++d) detector.observe(night_at(4, d, 77));
+  EXPECT_TRUE(detector.home_of(UserId{4}).has_value());
+}
+
+TEST(HomeDetection, DaytimeOnlyPresenceNeverQualifies) {
+  HomeDetector detector;
+  for (SimDay d = 0; d < 26; ++d)
+    detector.observe(night_at(5, d, 88, /*night_hours=*/0.0f));
+  EXPECT_FALSE(detector.home_of(UserId{5}).has_value());
+}
+
+TEST(HomeDetection, HomeCarriesDistrictAndCounty) {
+  HomeDetector detector;
+  for (SimDay d = 0; d < 15; ++d)
+    detector.observe(night_at(6, d, 9, 8.0f, /*district=*/42, /*county=*/7));
+  const auto home = detector.home_of(UserId{6});
+  ASSERT_TRUE(home.has_value());
+  EXPECT_EQ(home->home_district, PostcodeDistrictId{42});
+  EXPECT_EQ(home->home_county, CountyId{7});
+}
+
+TEST(HomeDetection, FinalizeReturnsSortedQualifiedUsers) {
+  HomeDetector detector;
+  for (SimDay d = 0; d < 20; ++d) {
+    detector.observe(night_at(30, d, 1));
+    detector.observe(night_at(10, d, 2));
+    if (d < 5) detector.observe(night_at(20, d, 3));  // too few nights
+  }
+  const auto homes = detector.finalize();
+  ASSERT_EQ(homes.size(), 2u);
+  EXPECT_EQ(homes[0].user, UserId{10});
+  EXPECT_EQ(homes[1].user, UserId{30});
+}
+
+TEST(HomeDetection, SameDayObservedTwiceCountsOneNight) {
+  HomeDetector detector;
+  for (int rep = 0; rep < 30; ++rep) detector.observe(night_at(7, 3, 5));
+  EXPECT_FALSE(detector.home_of(UserId{7}).has_value());  // still 1 night
+}
+
+TEST(HomeDetection, CustomThreshold) {
+  HomeDetectionParams params;
+  params.min_nights = 3;
+  HomeDetector detector{params};
+  for (SimDay d = 0; d < 3; ++d) detector.observe(night_at(8, d, 4));
+  EXPECT_TRUE(detector.home_of(UserId{8}).has_value());
+}
+
+TEST(HomeDetection, UnknownUser) {
+  HomeDetector detector;
+  EXPECT_FALSE(detector.home_of(UserId{999}).has_value());
+  EXPECT_TRUE(detector.finalize().empty());
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

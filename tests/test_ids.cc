@@ -1,0 +1,66 @@
+// Strong identifier semantics.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.h"
+
+namespace cellscope {
+namespace {
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  UserId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, UserId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  CellId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(SiteId{1}, SiteId{2});
+  EXPECT_EQ(SiteId{7}, SiteId{7});
+  EXPECT_NE(SiteId{7}, SiteId{8});
+  EXPECT_GE(SiteId{9}, SiteId{9});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<UserId, CellId>);
+  static_assert(!std::is_same_v<CountyId, RegionId>);
+  static_assert(!std::is_convertible_v<UserId, CellId>);
+}
+
+TEST(StrongId, NotImplicitlyConstructibleFromInt) {
+  static_assert(!std::is_convertible_v<std::uint32_t, UserId>);
+  static_assert(std::is_constructible_v<UserId, std::uint32_t>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<UserId> set;
+  set.insert(UserId{1});
+  set.insert(UserId{2});
+  set.insert(UserId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(UserId{2}));
+  EXPECT_FALSE(set.contains(UserId{3}));
+}
+
+TEST(StrongId, InvalidComparesUnequalToRealIds) {
+  for (std::uint32_t v : {0u, 1u, 1000000u})
+    EXPECT_NE(PostcodeDistrictId{v}, PostcodeDistrictId::invalid());
+}
+
+TEST(StrongId, CopySemantics) {
+  LadId a{5};
+  LadId b = a;
+  EXPECT_EQ(a, b);
+  b = LadId{6};
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+}  // namespace
+}  // namespace cellscope

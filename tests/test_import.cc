@@ -1,0 +1,126 @@
+// CSV import: parsing, strictness, and the export -> import round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/export.h"
+#include "analysis/import.h"
+
+namespace cellscope::analysis {
+namespace {
+
+const char kHeader[] =
+    "day,date,cell,site,district,dl_mb,ul_mb,active_dl_users,"
+    "tti_utilization,user_dl_tput_mbps,connected_users,voice_mb,"
+    "voice_users,voice_dl_loss_pct,voice_ul_loss_pct\n";
+
+TEST(ImportKpis, ParsesWellFormedRows) {
+  std::istringstream is{
+      std::string(kHeader) +
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\n"
+      "21,2020-02-24,7,2,WC1,50,5,1,0.005,2.8,20,0.7,0.1,0.5,0.2\n"
+      "22,2020-02-25,3,1,EC1,90,9,2,0.009,3.1,38,1.4,0.2,0.4,0.3\n"};
+  const auto result = import_kpis_csv(is);
+  EXPECT_EQ(result.rows, 3u);
+  EXPECT_EQ(result.cell_count, 8u);  // max cell id 7 + 1
+  ASSERT_EQ(result.store.records().size(), 3u);
+  EXPECT_EQ(result.store.first_day(), 21);
+  EXPECT_EQ(result.store.last_day(), 22);
+  const auto& first = result.store.records()[0];
+  EXPECT_EQ(first.cell, CellId{3});
+  EXPECT_DOUBLE_EQ(first.dl_volume_mb, 100.5);
+  EXPECT_DOUBLE_EQ(first.voice_ul_loss_pct, 0.3);
+}
+
+TEST(ImportKpis, AllowsDayGaps) {
+  std::istringstream is{
+      std::string(kHeader) +
+      "21,2020-02-24,0,0,A,1,1,1,0.1,1,1,1,1,1,1\n"
+      "25,2020-02-28,0,0,A,2,1,1,0.1,1,1,1,1,1,1\n"};
+  const auto result = import_kpis_csv(is);
+  EXPECT_EQ(result.store.first_day(), 21);
+  EXPECT_EQ(result.store.last_day(), 25);
+}
+
+TEST(ImportKpis, RejectsMalformedInput) {
+  std::istringstream empty{""};
+  EXPECT_THROW((void)import_kpis_csv(empty), std::runtime_error);
+
+  std::istringstream bad_header{"nope\n"};
+  EXPECT_THROW((void)import_kpis_csv(bad_header), std::runtime_error);
+
+  std::istringstream short_row{std::string(kHeader) + "21,x,0,0,A,1\n"};
+  EXPECT_THROW((void)import_kpis_csv(short_row), std::runtime_error);
+
+  std::istringstream bad_number{
+      std::string(kHeader) +
+      "21,2020-02-24,0,0,A,abc,1,1,0.1,1,1,1,1,1,1\n"};
+  EXPECT_THROW((void)import_kpis_csv(bad_number), std::runtime_error);
+
+  std::istringstream backwards{
+      std::string(kHeader) +
+      "22,2020-02-25,0,0,A,1,1,1,0.1,1,1,1,1,1,1\n"
+      "21,2020-02-24,0,0,A,1,1,1,0.1,1,1,1,1,1,1\n"};
+  EXPECT_THROW((void)import_kpis_csv(backwards), std::runtime_error);
+}
+
+TEST(ImportKpis, RoundTripsThroughExport) {
+  // Build a small store, export it, re-import it, and compare series.
+  const auto geography = geo::UkGeography::build();
+  radio::TopologyConfig topo_config;
+  topo_config.expected_subscribers = 20'000;
+  const auto topology = radio::RadioTopology::build(geography, topo_config);
+
+  telemetry::KpiStore original;
+  telemetry::KpiAggregator aggregator{topology.cells().size()};
+  Rng rng{5};
+  for (SimDay d = 21; d <= 27; ++d) {
+    aggregator.begin_day(d);
+    for (const auto cell : topology.lte_cells()) {
+      radio::CellHourKpi kpi;
+      kpi.dl_volume_mb = rng.uniform(0.0, 200.0);
+      kpi.ul_volume_mb = rng.uniform(0.0, 20.0);
+      kpi.active_dl_users = rng.uniform(0.0, 5.0);
+      kpi.connected_users = rng.uniform(0.0, 60.0);
+      aggregator.record_hour(cell, kpi);
+    }
+    original.add_day(aggregator.finish_day());
+  }
+
+  std::stringstream buffer;
+  export_kpis_csv(buffer, original, topology, geography);
+  const auto imported = import_kpis_csv(buffer);
+
+  ASSERT_EQ(imported.store.records().size(), original.records().size());
+  const auto grouping = group_by_region(geography, topology);
+  KpiGroupSeries before{original, grouping, telemetry::KpiMetric::kDlVolume};
+  KpiGroupSeries after{imported.store, grouping,
+                       telemetry::KpiMetric::kDlVolume};
+  for (std::size_t g = 0; g < grouping.group_count(); ++g) {
+    for (SimDay d = 21; d <= 27; ++d) {
+      if (!before.group(g).has(d)) continue;
+      // CSV stores ~6 significant digits; compare accordingly.
+      EXPECT_NEAR(after.group(g).value(d), before.group(g).value(d),
+                  1e-3 * std::max(1.0, before.group(g).value(d)))
+          << g << " " << d;
+    }
+  }
+}
+
+TEST(GroupingFromNames, AssignsGroupsInFirstAppearanceOrder) {
+  const std::vector<std::string> names = {"north", "south", "north", "",
+                                          "east"};
+  const auto grouping = grouping_from_names(names);
+  ASSERT_EQ(grouping.names.size(), 3u);
+  EXPECT_EQ(grouping.names[0], "north");
+  EXPECT_EQ(grouping.names[1], "south");
+  EXPECT_EQ(grouping.names[2], "east");
+  EXPECT_EQ(grouping.group_of[0], 0);
+  EXPECT_EQ(grouping.group_of[1], 1);
+  EXPECT_EQ(grouping.group_of[2], 0);
+  EXPECT_EQ(grouping.group_of[3], CellGrouping::kUngrouped);
+  EXPECT_EQ(grouping.group_of[4], 2);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

@@ -1,0 +1,90 @@
+// Inter-MNO voice interconnect: dimensioning, congestion curve, expansion.
+#include <gtest/gtest.h>
+
+#include "traffic/interconnect.h"
+
+namespace cellscope::traffic {
+namespace {
+
+TEST(Interconnect, RejectsNonPositiveCapacity) {
+  InterconnectParams params;
+  params.baseline_capacity = 0.0;
+  EXPECT_THROW(VoiceInterconnect{params}, std::invalid_argument);
+}
+
+TEST(Interconnect, CalibrationAddsHeadroom) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0, 0.15);
+  EXPECT_DOUBLE_EQ(trunk.params().baseline_capacity, 1150.0);
+  EXPECT_THROW(trunk.calibrate(0.0), std::invalid_argument);
+}
+
+TEST(Interconnect, CapacityExpandsOnUpgradeDay) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);
+  const double before = trunk.capacity(timeline::kLockdownOrder - 1);
+  const double after = trunk.capacity(timeline::kLockdownOrder);
+  EXPECT_DOUBLE_EQ(after / before, trunk.params().upgrade_factor);
+}
+
+TEST(Interconnect, LossIsZeroForZeroOffered) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);
+  EXPECT_DOUBLE_EQ(trunk.dl_loss_pct(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(trunk.dl_loss_pct(10, -5.0), 0.0);
+}
+
+TEST(Interconnect, LossIsMonotoneInOfferedLoad) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);
+  double previous = 0.0;
+  for (double offered = 100.0; offered <= 3000.0; offered += 100.0) {
+    const double loss = trunk.dl_loss_pct(10, offered);
+    EXPECT_GE(loss, previous);
+    previous = loss;
+  }
+}
+
+TEST(Interconnect, SmallResidualLossInNormalOperation) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);  // capacity 1080
+  const double normal = trunk.dl_loss_pct(10, 1000.0);  // util ~0.93
+  EXPECT_GT(normal, 0.0);
+  EXPECT_LT(normal, 0.3);
+}
+
+TEST(Interconnect, OverloadLossIsSteepButCapped) {
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);
+  const double surge = trunk.dl_loss_pct(10, 1900.0);  // ~1.76x capacity
+  EXPECT_GT(surge, 1.0);
+  EXPECT_LE(surge, trunk.params().max_loss_pct);
+  EXPECT_DOUBLE_EQ(trunk.dl_loss_pct(10, 100'000.0),
+                   trunk.params().max_loss_pct);
+}
+
+TEST(Interconnect, UpgradeRestoresSubNormalLoss) {
+  // The paper's story: the same offered surge that congested the trunks in
+  // weeks 10-12 produces below-baseline loss after the expansion.
+  VoiceInterconnect trunk;
+  trunk.calibrate(1000.0);
+  const double baseline_loss = trunk.dl_loss_pct(10, 1000.0);
+  const double surge_before = trunk.dl_loss_pct(
+      timeline::kLockdownOrder - 7, 1900.0);
+  const double surge_after =
+      trunk.dl_loss_pct(timeline::kLockdownOrder, 1900.0);
+  EXPECT_GT(surge_before, 2.0 * baseline_loss);  // >100% increase
+  EXPECT_LT(surge_after, baseline_loss);         // below normal values
+}
+
+TEST(Interconnect, CustomUpgradeDayRespected) {
+  InterconnectParams params;
+  params.baseline_capacity = 500.0;
+  params.upgrade_day = 70;
+  VoiceInterconnect trunk{params};
+  EXPECT_DOUBLE_EQ(trunk.capacity(69), 500.0);
+  EXPECT_GT(trunk.capacity(70), 500.0);
+}
+
+}  // namespace
+}  // namespace cellscope::traffic

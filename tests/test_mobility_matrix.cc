@@ -1,0 +1,143 @@
+// Fig 7 mobility matrix: presence counting and row extraction.
+#include <gtest/gtest.h>
+
+#include "analysis/mobility_matrix.h"
+
+namespace cellscope::analysis {
+namespace {
+
+class MobilityMatrixTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+  }
+  static void TearDownTestSuite() { delete geography_; }
+  static const geo::UkGeography& geo() { return *geography_; }
+  static CountyId inner_london() {
+    return *geo().county_by_name("Inner London");
+  }
+  static CountyId kent() { return *geo().county_by_name("Kent"); }
+
+  // Observation placing a user at towers in the given counties.
+  static telemetry::UserDayObservation obs_in(
+      std::uint32_t user, SimDay day, std::vector<CountyId> counties) {
+    telemetry::UserDayObservation obs;
+    obs.user = UserId{user};
+    obs.day = day;
+    const float hours = 24.0f / counties.size();
+    std::uint32_t site = 0;
+    for (const auto county : counties) {
+      telemetry::TowerStay stay;
+      stay.site = SiteId{site++};
+      stay.county = county;
+      stay.district = geo().districts_in(county).front();
+      stay.hours = hours;
+      obs.stays.push_back(stay);
+    }
+    return obs;
+  }
+
+ private:
+  static const geo::UkGeography* geography_;
+};
+const geo::UkGeography* MobilityMatrixTest::geography_ = nullptr;
+
+TEST_F(MobilityMatrixTest, CountsDistinctCountiesOncePerUserDay) {
+  MobilityMatrix matrix{geo(), inner_london(), 0, 10};
+  // User in Inner London twice (two towers) + Kent once.
+  matrix.observe(obs_in(1, 5, {inner_london(), inner_london(), kent()}));
+  EXPECT_DOUBLE_EQ(matrix.presence(inner_london(), 5), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.presence(kent(), 5), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.home_presence(5), 1.0);
+}
+
+TEST_F(MobilityMatrixTest, AccumulatesAcrossUsers) {
+  MobilityMatrix matrix{geo(), inner_london(), 0, 10};
+  for (std::uint32_t u = 0; u < 7; ++u)
+    matrix.observe(obs_in(u, 3, {inner_london()}));
+  matrix.observe(obs_in(99, 3, {kent()}));
+  EXPECT_DOUBLE_EQ(matrix.presence(inner_london(), 3), 7.0);
+  EXPECT_DOUBLE_EQ(matrix.presence(kent(), 3), 1.0);
+}
+
+TEST_F(MobilityMatrixTest, IgnoresOutOfWindowAndEmpty) {
+  MobilityMatrix matrix{geo(), inner_london(), 5, 10};
+  matrix.observe(obs_in(1, 4, {inner_london()}));   // before window
+  matrix.observe(obs_in(1, 11, {inner_london()}));  // after window
+  telemetry::UserDayObservation empty;
+  empty.user = UserId{2};
+  empty.day = 7;
+  matrix.observe(empty);
+  for (SimDay d = 5; d <= 10; ++d)
+    EXPECT_DOUBLE_EQ(matrix.presence(inner_london(), d), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.presence(inner_london(), 4), 0.0);
+}
+
+TEST_F(MobilityMatrixTest, TopKLimitsCountedTowers) {
+  MobilityMatrix matrix{geo(), inner_london(), 0, 5};
+  // 3 stays; top-2 keeps the two longest (Inner London 12h + Kent 8h),
+  // dropping Hampshire (4h).
+  telemetry::UserDayObservation obs;
+  obs.user = UserId{1};
+  obs.day = 2;
+  const auto add = [&](CountyId county, float hours, std::uint32_t site) {
+    telemetry::TowerStay stay;
+    stay.site = SiteId{site};
+    stay.county = county;
+    stay.district = geo().districts_in(county).front();
+    stay.hours = hours;
+    obs.stays.push_back(stay);
+  };
+  const auto hampshire = *geo().county_by_name("Hampshire");
+  add(inner_london(), 12.0f, 1);
+  add(kent(), 8.0f, 2);
+  add(hampshire, 4.0f, 3);
+  matrix.observe(obs, /*top_k=*/2);
+  EXPECT_DOUBLE_EQ(matrix.presence(inner_london(), 2), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.presence(kent(), 2), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.presence(hampshire, 2), 0.0);
+}
+
+TEST_F(MobilityMatrixTest, RowsBaselineAndDeltas) {
+  // Window covering week 9 (days 21..27) and week 10.
+  MobilityMatrix matrix{geo(), inner_london(), 21, 34};
+  // Week 9: 10 residents at home daily; week 10: only 8.
+  for (SimDay d = 21; d <= 27; ++d)
+    for (std::uint32_t u = 0; u < 10; ++u)
+      matrix.observe(obs_in(u, d, {inner_london()}));
+  for (SimDay d = 28; d <= 34; ++d)
+    for (std::uint32_t u = 0; u < 8; ++u)
+      matrix.observe(obs_in(u, d, {inner_london()}));
+  const auto rows = matrix.rows(/*baseline_week=*/9, /*top_n=*/3);
+  ASSERT_FALSE(rows.empty());
+  // First row is the home county.
+  EXPECT_EQ(rows[0].county, inner_london());
+  EXPECT_DOUBLE_EQ(rows[0].baseline, 10.0);
+  // Week-10 days read -20%.
+  for (const auto& point : rows[0].delta_pct) {
+    if (point.day >= 28) {
+      EXPECT_DOUBLE_EQ(point.value, -20.0);
+    }
+    if (point.day >= 21 && point.day <= 27) {
+      EXPECT_DOUBLE_EQ(point.value, 0.0);
+    }
+  }
+}
+
+TEST_F(MobilityMatrixTest, RowsRankReceivingCountiesByBaseline) {
+  MobilityMatrix matrix{geo(), inner_london(), 21, 27};
+  const auto hampshire = *geo().county_by_name("Hampshire");
+  for (SimDay d = 21; d <= 27; ++d) {
+    for (std::uint32_t u = 0; u < 5; ++u)
+      matrix.observe(obs_in(u, d, {kent()}));
+    matrix.observe(obs_in(10, d, {hampshire}));
+  }
+  const auto rows = matrix.rows(9, /*top_n=*/2);
+  ASSERT_EQ(rows.size(), 3u);  // home + 2 receiving
+  EXPECT_EQ(rows[0].county, inner_london());
+  EXPECT_EQ(rows[1].county, kent());       // 5/day beats 1/day
+  EXPECT_EQ(rows[2].county, hampshire);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

@@ -1,0 +1,225 @@
+// Entropy (Eq 1) and radius of gyration (Eq 2), with top-K and 4h bins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mobility_metrics.h"
+
+namespace cellscope::analysis {
+namespace {
+
+telemetry::TowerStay stay(std::uint32_t site, LatLon where, float hours,
+                          float night = 0.0f) {
+  telemetry::TowerStay s;
+  s.site = SiteId{site};
+  s.location = where;
+  s.county = CountyId{0};
+  s.district = PostcodeDistrictId{0};
+  s.hours = hours;
+  s.night_hours = night;
+  for (auto& b : s.bin_hours) b = hours / 6.0f;
+  return s;
+}
+
+TEST(Entropy, SingleTowerIsZero) {
+  EXPECT_DOUBLE_EQ(entropy_from_dwell(std::vector<double>{24.0}), 0.0);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> four = {6.0, 6.0, 6.0, 6.0};
+  EXPECT_NEAR(entropy_from_dwell(four), std::log(4.0), 1e-12);
+  const std::vector<double> two = {1.0, 1.0};
+  EXPECT_NEAR(entropy_from_dwell(two), std::log(2.0), 1e-12);
+}
+
+TEST(Entropy, SkewedIsLessThanUniform) {
+  const std::vector<double> skewed = {21.0, 1.0, 1.0, 1.0};
+  const std::vector<double> uniform = {6.0, 6.0, 6.0, 6.0};
+  EXPECT_LT(entropy_from_dwell(skewed), entropy_from_dwell(uniform));
+  EXPECT_GT(entropy_from_dwell(skewed), 0.0);
+}
+
+TEST(Entropy, HandExample) {
+  // p = {0.75, 0.25}: e = -(0.75 ln 0.75 + 0.25 ln 0.25).
+  const std::vector<double> dwell = {18.0, 6.0};
+  const double expected = -(0.75 * std::log(0.75) + 0.25 * std::log(0.25));
+  EXPECT_NEAR(entropy_from_dwell(dwell), expected, 1e-12);
+}
+
+TEST(Entropy, ZeroAndEmptyDwell) {
+  EXPECT_DOUBLE_EQ(entropy_from_dwell({}), 0.0);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy_from_dwell(zeros), 0.0);
+  // Zero entries are skipped, not log(0)'d.
+  const std::vector<double> with_zero = {12.0, 0.0, 12.0};
+  EXPECT_NEAR(entropy_from_dwell(with_zero), std::log(2.0), 1e-12);
+}
+
+TEST(Gyration, SinglePointIsZero) {
+  const std::vector<LatLon> p = {{51.5, -0.1}};
+  const std::vector<double> h = {24.0};
+  EXPECT_NEAR(gyration_from_stays(p, h), 0.0, 1e-9);
+}
+
+TEST(Gyration, TwoEqualPointsIsHalfTheDistance) {
+  // Equal dwell at two towers d km apart: cm is the midpoint, every point
+  // is d/2 away -> gyration d/2.
+  const LatLon a{51.5, -0.1};
+  const LatLon b = offset_km(a, 10.0, 0.0);
+  const std::vector<LatLon> p = {a, b};
+  const std::vector<double> h = {12.0, 12.0};
+  EXPECT_NEAR(gyration_from_stays(p, h), 5.0, 0.05);
+}
+
+TEST(Gyration, TimeWeightingPullsTowardLongDwell) {
+  const LatLon home{51.5, -0.1};
+  const LatLon work = offset_km(home, 12.0, 0.0);
+  const std::vector<LatLon> p = {home, work};
+  // 16h home / 8h work: cm at 4 km from home;
+  // g = sqrt((16*16 + 8*64)/24) = sqrt(32) ~ 5.66 km.
+  const std::vector<double> h = {16.0, 8.0};
+  EXPECT_NEAR(gyration_from_stays(p, h), std::sqrt(32.0), 0.05);
+}
+
+TEST(Gyration, BoundedByMaxDistanceFromCm) {
+  const LatLon a{51.0, -1.0};
+  const std::vector<LatLon> p = {a, offset_km(a, 30.0, 0.0),
+                                 offset_km(a, 0.0, 30.0)};
+  const std::vector<double> h = {8.0, 8.0, 8.0};
+  const double g = gyration_from_stays(p, h);
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 30.0);
+}
+
+TEST(Gyration, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(gyration_from_stays({}, {}), 0.0);
+  const std::vector<LatLon> p = {{51.0, 0.0}};
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(gyration_from_stays(p, mismatched), 0.0);
+  const std::vector<double> zero = {0.0};
+  EXPECT_DOUBLE_EQ(gyration_from_stays(p, zero), 0.0);
+}
+
+TEST(DayMetrics, EmptyObservationIsNullopt) {
+  telemetry::UserDayObservation obs;
+  obs.user = UserId{1};
+  obs.day = 10;
+  EXPECT_FALSE(compute_day_metrics(obs).has_value());
+}
+
+TEST(DayMetrics, HomebodyHasZeroMetrics) {
+  telemetry::UserDayObservation obs;
+  obs.stays.push_back(stay(0, {51.5, -0.1}, 24.0f));
+  const auto metrics = compute_day_metrics(obs);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_DOUBLE_EQ(metrics->entropy, 0.0);
+  EXPECT_NEAR(metrics->gyration_km, 0.0, 1e-9);
+  EXPECT_EQ(metrics->towers_visited, 1);
+  EXPECT_DOUBLE_EQ(metrics->hours_observed, 24.0);
+}
+
+TEST(DayMetrics, CommuterMetrics) {
+  const LatLon home{51.5, -0.1};
+  telemetry::UserDayObservation obs;
+  obs.stays.push_back(stay(0, home, 16.0f));
+  obs.stays.push_back(stay(1, offset_km(home, 12.0, 0.0), 8.0f));
+  const auto metrics = compute_day_metrics(obs);
+  ASSERT_TRUE(metrics.has_value());
+  const double expected_entropy =
+      -(2.0 / 3 * std::log(2.0 / 3) + 1.0 / 3 * std::log(1.0 / 3));
+  EXPECT_NEAR(metrics->entropy, expected_entropy, 1e-9);
+  EXPECT_NEAR(metrics->gyration_km, std::sqrt(32.0), 0.05);
+  EXPECT_EQ(metrics->towers_visited, 2);
+}
+
+class TopKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKTest, KeepsHighestDwellTowers) {
+  const int k = GetParam();
+  const LatLon origin{51.5, -0.1};
+  telemetry::UserDayObservation obs;
+  // 30 towers with dwell 30, 29, ... 1 hours (synthetic, not 24h).
+  for (int t = 0; t < 30; ++t)
+    obs.stays.push_back(
+        stay(static_cast<std::uint32_t>(t),
+             offset_km(origin, t * 1.0, 0.0), static_cast<float>(30 - t)));
+  MobilityMetricOptions options;
+  options.top_k = k;
+  const auto metrics = compute_day_metrics(obs, options);
+  ASSERT_TRUE(metrics.has_value());
+  const int expected = k > 0 ? std::min(k, 30) : 30;
+  EXPECT_EQ(metrics->towers_visited, expected);
+  if (k > 0) {
+    // The kept dwell mass is the top-k total.
+    double expected_hours = 0.0;
+    for (int t = 0; t < std::min(k, 30); ++t) expected_hours += 30 - t;
+    EXPECT_DOUBLE_EQ(metrics->hours_observed, expected_hours);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKTest, ::testing::Values(0, 5, 10, 20, 100));
+
+TEST(DayMetrics, TopKAblationIsStableForTypicalDays) {
+  // DESIGN.md ablation: for realistic days (<= 8 towers), K in {5..inf}
+  // changes nothing; K=20 (the paper) is a no-op.
+  const LatLon origin{51.5, -0.1};
+  telemetry::UserDayObservation obs;
+  for (int t = 0; t < 6; ++t)
+    obs.stays.push_back(stay(static_cast<std::uint32_t>(t),
+                             offset_km(origin, t * 2.0, 1.0), 4.0f));
+  MobilityMetricOptions k20;
+  k20.top_k = 20;
+  MobilityMetricOptions unlimited;
+  unlimited.top_k = 0;
+  const auto a = compute_day_metrics(obs, k20);
+  const auto b = compute_day_metrics(obs, unlimited);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->entropy, b->entropy);
+  EXPECT_DOUBLE_EQ(a->gyration_km, b->gyration_km);
+}
+
+TEST(DayMetrics, FourHourBinRestriction) {
+  const LatLon home{51.5, -0.1};
+  telemetry::UserDayObservation obs;
+  // Home only in bin 0; home+work in the other bins.
+  auto home_stay = stay(0, home, 16.0f);
+  home_stay.bin_hours = {4.0f, 0.0f, 2.0f, 2.0f, 4.0f, 4.0f};
+  auto work_stay = stay(1, offset_km(home, 10.0, 0.0), 8.0f);
+  work_stay.bin_hours = {0.0f, 4.0f, 2.0f, 2.0f, 0.0f, 0.0f};
+  obs.stays.push_back(home_stay);
+  obs.stays.push_back(work_stay);
+
+  MobilityMetricOptions night_bin;
+  night_bin.four_hour_bin = 0;
+  const auto night = compute_day_metrics(obs, night_bin);
+  ASSERT_TRUE(night.has_value());
+  EXPECT_EQ(night->towers_visited, 1);  // only home
+  EXPECT_DOUBLE_EQ(night->entropy, 0.0);
+
+  MobilityMetricOptions morning_bin;
+  morning_bin.four_hour_bin = 1;
+  const auto morning = compute_day_metrics(obs, morning_bin);
+  ASSERT_TRUE(morning.has_value());
+  EXPECT_EQ(morning->towers_visited, 1);  // only work
+  EXPECT_DOUBLE_EQ(morning->hours_observed, 4.0);
+
+  MobilityMetricOptions midday_bin;
+  midday_bin.four_hour_bin = 2;
+  const auto midday = compute_day_metrics(obs, midday_bin);
+  ASSERT_TRUE(midday.has_value());
+  EXPECT_EQ(midday->towers_visited, 2);
+  EXPECT_NEAR(midday->entropy, std::log(2.0), 1e-9);
+}
+
+TEST(DayMetrics, EmptyBinIsNullopt) {
+  telemetry::UserDayObservation obs;
+  auto s = stay(0, {51.5, -0.1}, 4.0f);
+  s.bin_hours = {4.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  obs.stays.push_back(s);
+  MobilityMetricOptions empty_bin;
+  empty_bin.four_hour_bin = 3;
+  EXPECT_FALSE(compute_day_metrics(obs, empty_bin).has_value());
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

@@ -1,0 +1,261 @@
+// Model-specification pins: behaviours documented in docs/MODEL.md that no
+// other test asserts directly. These are the contract between the
+// calibrated constants and the reproduced figures — if one of these moves,
+// EXPERIMENTS.md is stale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mobility/place.h"
+#include "mobility/trajectory.h"
+#include "population/generator.h"
+#include "radio/scheduler.h"
+#include "traffic/apps.h"
+#include "traffic/demand.h"
+#include "traffic/interconnect.h"
+#include "traffic/voice.h"
+
+namespace cellscope {
+namespace {
+
+// ------------------------------------------------------------- geography
+TEST(ModelSpec, GetawayAttractionOrdering) {
+  const auto geography = geo::UkGeography::build();
+  const auto attraction = [&](const char* name) {
+    return geography.county(*geography.county_by_name(name))
+        .getaway_attraction;
+  };
+  // Fig 7's receiving-county ordering: Hampshire first, then the coast.
+  EXPECT_GT(attraction("Hampshire"), attraction("East Sussex"));
+  EXPECT_GT(attraction("East Sussex"), attraction("Kent"));
+  EXPECT_GT(attraction("Kent"), attraction("Devon"));
+  EXPECT_DOUBLE_EQ(attraction("Inner London"), 0.0);
+  EXPECT_DOUBLE_EQ(attraction("Greater Manchester"), 0.0);
+}
+
+TEST(ModelSpec, MetroCountiesHaveACosmopolitanCore) {
+  const auto geography = geo::UkGeography::build();
+  for (const char* name :
+       {"Greater Manchester", "West Midlands", "West Yorkshire"}) {
+    const auto county = *geography.county_by_name(name);
+    bool has_core = false;
+    for (const auto id : geography.districts_in(county))
+      has_core |= geography.district(id).cluster ==
+                  geo::OacCluster::kCosmopolitans;
+    EXPECT_TRUE(has_core) << name;
+  }
+}
+
+TEST(ModelSpec, CosmopolitanDistrictsAreVisitorDominated) {
+  // The Fig 10 mechanism: cosmopolitan districts must pull far more
+  // daytime users than they house.
+  const auto geography = geo::UkGeography::build();
+  double cosmo_jobs = 0.0, cosmo_residents = 0.0;
+  double suburb_jobs = 0.0, suburb_residents = 0.0;
+  for (const auto& district : geography.districts()) {
+    if (district.cluster == geo::OacCluster::kCosmopolitans) {
+      cosmo_jobs += district.job_weight * 25'000.0;
+      cosmo_residents += static_cast<double>(district.residents);
+    } else if (district.cluster == geo::OacCluster::kSuburbanites) {
+      suburb_jobs += district.job_weight * 25'000.0;
+      suburb_residents += static_cast<double>(district.residents);
+    }
+  }
+  EXPECT_GT(cosmo_jobs / cosmo_residents, 1.0);
+  EXPECT_LT(suburb_jobs / suburb_residents, 0.5);
+}
+
+// ------------------------------------------------------------ behaviour
+class SpecFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+    catalog_ = new population::DeviceCatalog(
+        population::DeviceCatalog::build(1));
+    population::PopulationGenerator generator{*geography_, *catalog_};
+    population::PopulationConfig config;
+    config.num_users = 5'000;
+    config.seed = 61;
+    population_ = new population::Population(generator.generate(config));
+    policy_ = new mobility::PolicyTimeline();
+    builder_ = new mobility::PlacesBuilder(*geography_);
+    trajectories_ =
+        new mobility::TrajectoryGenerator(*geography_, *policy_);
+  }
+  static void TearDownTestSuite() {
+    delete trajectories_;
+    delete builder_;
+    delete policy_;
+    delete population_;
+    delete catalog_;
+    delete geography_;
+  }
+
+  // Mean hours per day spent at each place kind for a population slice.
+  static std::map<mobility::PlaceKind, double> mean_kind_hours(
+      SimDay day, int max_users = 2'000) {
+    std::map<mobility::PlaceKind, double> hours;
+    int counted = 0;
+    Rng root{17};
+    for (std::size_t i = 0;
+         i < population_->subscribers.size() && counted < max_users; ++i) {
+      const auto& user = population_->subscribers[i];
+      if (!user.native || !user.smartphone) continue;
+      Rng prng = root.fork("p", i);
+      auto places = builder_->build(user, prng);
+      mobility::UserState state;
+      Rng rng = root.fork("d", i);
+      const auto plan =
+          trajectories_->plan_day(user, places, state, day, rng);
+      for (const auto& stay : plan.stays)
+        hours[places.places[stay.place].kind] +=
+            stay.end_hour - stay.start_hour;
+      ++counted;
+    }
+    for (auto& [kind, total] : hours) total /= counted;
+    return hours;
+  }
+
+  static const geo::UkGeography* geography_;
+  static const population::DeviceCatalog* catalog_;
+  static const population::Population* population_;
+  static const mobility::PolicyTimeline* policy_;
+  static const mobility::PlacesBuilder* builder_;
+  static const mobility::TrajectoryGenerator* trajectories_;
+};
+const geo::UkGeography* SpecFixture::geography_ = nullptr;
+const population::DeviceCatalog* SpecFixture::catalog_ = nullptr;
+const population::Population* SpecFixture::population_ = nullptr;
+const mobility::PolicyTimeline* SpecFixture::policy_ = nullptr;
+const mobility::PlacesBuilder* SpecFixture::builder_ = nullptr;
+const mobility::TrajectoryGenerator* SpecFixture::trajectories_ = nullptr;
+
+TEST_F(SpecFixture, BaselineWeekdayTimeBudget) {
+  // Tuesday of week 8 (pre-pandemic): most time at home, a solid work
+  // block, modest errand/leisure time.
+  const auto hours = mean_kind_hours(15);
+  EXPECT_GT(hours.at(mobility::PlaceKind::kHome), 12.0);
+  EXPECT_GT(hours.at(mobility::PlaceKind::kWork), 2.5);  // ~45% commute
+  const double out = 24.0 - hours.at(mobility::PlaceKind::kHome);
+  EXPECT_GT(out, 4.0);
+  EXPECT_LT(out, 12.0);
+}
+
+TEST_F(SpecFixture, LockdownWeekdayTimeBudget) {
+  // Tuesday of week 14: home dominates; the work block shrinks to the key
+  // workers; out-of-home time halves or better.
+  const auto baseline = mean_kind_hours(15);
+  const auto lockdown = mean_kind_hours(57);
+  EXPECT_GT(lockdown.at(mobility::PlaceKind::kHome),
+            baseline.at(mobility::PlaceKind::kHome) + 3.0);
+  EXPECT_LT(lockdown.at(mobility::PlaceKind::kWork),
+            0.5 * baseline.at(mobility::PlaceKind::kWork));
+  const double out_before = 24.0 - baseline.at(mobility::PlaceKind::kHome);
+  const double out_during = 24.0 - lockdown.at(mobility::PlaceKind::kHome);
+  EXPECT_LT(out_during, 0.55 * out_before);
+  EXPECT_GT(out_during, 0.5);  // essential mobility survives
+}
+
+TEST_F(SpecFixture, WeekendGetawayRatesByProfile) {
+  // Second-home owners take weekend trips an order of magnitude more often
+  // than the base population (pre-pandemic Saturday).
+  Rng root{23};
+  int sh_trips = 0, sh_days = 0, other_trips = 0, other_days = 0;
+  for (std::size_t i = 0; i < population_->subscribers.size(); ++i) {
+    const auto& user = population_->subscribers[i];
+    if (!user.native || !user.smartphone) continue;
+    Rng prng = root.fork("p", i);
+    auto places = builder_->build(user, prng);
+    if (!places.has_getaway()) continue;
+    mobility::UserState state;
+    for (int rep = 0; rep < 3; ++rep) {
+      Rng rng = root.fork("w", i * 10 + static_cast<std::size_t>(rep));
+      const auto plan =
+          trajectories_->plan_day(user, places, state, 12 + 7 * rep, rng);
+      bool trip = false;
+      for (const auto& stay : plan.stays)
+        trip |= stay.place == places.getaway_index;
+      if (user.second_home) {
+        sh_trips += trip;
+        ++sh_days;
+      } else {
+        other_trips += trip;
+        ++other_days;
+      }
+    }
+  }
+  ASSERT_GT(sh_days, 100);
+  ASSERT_GT(other_days, 1000);
+  const double sh_rate = double(sh_trips) / sh_days;
+  const double other_rate = double(other_trips) / other_days;
+  EXPECT_GT(sh_rate, 0.10);
+  EXPECT_LT(other_rate, 0.06);
+  EXPECT_GT(sh_rate, 2.5 * other_rate);
+}
+
+// --------------------------------------------------------------- traffic
+TEST(ModelSpec, VoiceSurgeIsNewsKeyedNotOrderKeyed) {
+  // Shifting the lockdown order must NOT shift the voice wave (the paper's
+  // loss episode starts in week 10, before any order).
+  mobility::PolicyParams shifted;
+  shifted.advice_day = timeline::kWorkFromHomeAdvice + 14;
+  shifted.closure_day = timeline::kVenueClosures + 14;
+  shifted.lockdown_day = timeline::kLockdownOrder + 14;
+  mobility::PolicyTimeline late{shifted};
+  mobility::PolicyTimeline actual;
+  for (SimDay d = 0; d < 98; ++d)
+    EXPECT_DOUBLE_EQ(late.voice_demand_multiplier(d),
+                     actual.voice_demand_multiplier(d))
+        << d;
+}
+
+TEST(ModelSpec, SchedulerUplinkCapacityCap) {
+  radio::LteScheduler scheduler;
+  radio::Cell cell;
+  cell.dl_capacity_mbps = 75.0;
+  cell.ul_capacity_mbps = 25.0;
+  radio::CellHourLoad load;
+  load.offered_ul_mb = 1'000'000.0;
+  const auto kpi = scheduler.schedule_hour(cell, load, 0.0);
+  EXPECT_NEAR(kpi.data_ul_mb, 25.0 * 0.85 * 3600 / 8, 0.1);
+}
+
+TEST(ModelSpec, AppMixQciAssignments) {
+  // Conversational voice is QCI 1 (owned by the voice model); every data
+  // app rides QCI 2..8 (Section 2.4's "all bearers" aggregation).
+  for (int i = 0; i < traffic::kAppClassCount; ++i) {
+    const auto& profile =
+        traffic::app_profile(static_cast<traffic::AppClass>(i));
+    EXPECT_GE(profile.qci, 2);
+    EXPECT_LE(profile.qci, 8);
+  }
+}
+
+TEST(ModelSpec, WorkResidueBetweenHomeAndAway) {
+  // Office WiFi offloads less than home WiFi: the work residue sits
+  // strictly between the home residue and full cellular demand.
+  traffic::DemandParams params;
+  EXPECT_GT(params.work_dl_residue, params.home_dl_residue);
+  EXPECT_LT(params.work_dl_residue, 1.0);
+  EXPECT_GT(params.work_ul_residue, params.home_ul_residue);
+}
+
+TEST(ModelSpec, InterconnectDefaultsMatchModelDoc) {
+  // docs/MODEL.md §5 pins these; the Fig 9 shape depends on them.
+  traffic::InterconnectParams params;
+  EXPECT_DOUBLE_EQ(params.upgrade_factor, 2.6);
+  EXPECT_EQ(params.upgrade_day, timeline::kLockdownOrder);
+  EXPECT_DOUBLE_EQ(params.max_loss_pct, 1.2);
+  EXPECT_GT(params.steepness, 1.0);
+  EXPECT_LT(params.knee_utilization, 1.0);
+}
+
+TEST(ModelSpec, VoiceDefaultsMatchModelDoc) {
+  traffic::VoiceParams params;
+  EXPECT_DOUBLE_EQ(params.daily_minutes, 12.0);
+  EXPECT_DOUBLE_EQ(params.mb_per_minute, 0.16);
+  EXPECT_DOUBLE_EQ(params.offnet_fraction, 0.55);
+}
+
+}  // namespace
+}  // namespace cellscope

@@ -1,0 +1,83 @@
+// OAC cluster catalog (Table 1) and behavioural traits.
+#include <gtest/gtest.h>
+
+#include "geo/oac.h"
+
+namespace cellscope::geo {
+namespace {
+
+TEST(Oac, EightClusters) {
+  const auto all = all_oac_clusters();
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(kOacClusterCount, 8);
+  // Enum values are dense 0..7 in declaration order.
+  for (int i = 0; i < kOacClusterCount; ++i)
+    EXPECT_EQ(static_cast<int>(all[static_cast<std::size_t>(i)]), i);
+}
+
+TEST(Oac, Table1NamesVerbatim) {
+  EXPECT_EQ(oac_name(OacCluster::kRuralResidents), "Rural Residents");
+  EXPECT_EQ(oac_name(OacCluster::kCosmopolitans), "Cosmopolitans");
+  EXPECT_EQ(oac_name(OacCluster::kEthnicityCentral), "Ethnicity Central");
+  EXPECT_EQ(oac_name(OacCluster::kMulticulturalMetropolitans),
+            "Multicultural Metropolitans");
+  EXPECT_EQ(oac_name(OacCluster::kUrbanites), "Urbanites");
+  EXPECT_EQ(oac_name(OacCluster::kSuburbanites), "Suburbanites");
+  EXPECT_EQ(oac_name(OacCluster::kConstrainedCityDwellers),
+            "Constrained City Dwellers");
+  EXPECT_EQ(oac_name(OacCluster::kHardPressedLiving), "Hard-pressed Living");
+}
+
+TEST(Oac, DefinitionsMatchTable1Keywords) {
+  EXPECT_NE(oac_definition(OacCluster::kRuralResidents).find("Rural areas"),
+            std::string_view::npos);
+  EXPECT_NE(oac_definition(OacCluster::kCosmopolitans)
+                .find("young adults and students"),
+            std::string_view::npos);
+  EXPECT_NE(oac_definition(OacCluster::kEthnicityCentral)
+                .find("central areas of London"),
+            std::string_view::npos);
+  EXPECT_NE(oac_definition(OacCluster::kHardPressedLiving)
+                .find("unemployment"),
+            std::string_view::npos);
+}
+
+TEST(Oac, TraitsWithinSaneRanges) {
+  for (const auto cluster : all_oac_clusters()) {
+    const OacTraits& t = oac_traits(cluster);
+    EXPECT_GT(t.range_factor, 0.2) << oac_name(cluster);
+    EXPECT_LT(t.range_factor, 3.0) << oac_name(cluster);
+    EXPECT_GT(t.variety_factor, 0.3) << oac_name(cluster);
+    EXPECT_LT(t.variety_factor, 2.0) << oac_name(cluster);
+    EXPECT_GE(t.visitor_ratio, 0.0) << oac_name(cluster);
+    EXPECT_GE(t.seasonal_fraction, 0.0) << oac_name(cluster);
+    EXPECT_LE(t.seasonal_fraction, 0.5) << oac_name(cluster);
+    EXPECT_GE(t.wfh_capable, 0.0) << oac_name(cluster);
+    EXPECT_LE(t.wfh_capable, 1.0) << oac_name(cluster);
+  }
+}
+
+// The traits must encode the paper's qualitative cluster statements.
+TEST(Oac, TraitsEncodePaperContrasts) {
+  // Rural residents cover the widest areas (Fig 6a, weeks 9-11).
+  for (const auto cluster : all_oac_clusters()) {
+    if (cluster == OacCluster::kRuralResidents) continue;
+    EXPECT_GT(oac_traits(OacCluster::kRuralResidents).range_factor,
+              oac_traits(cluster).range_factor)
+        << oac_name(cluster);
+  }
+  // Cosmopolitans: smallest ranges, highest variety, most visitors and most
+  // seasonal residents (Sections 3.3, 4.4).
+  EXPECT_LT(oac_traits(OacCluster::kCosmopolitans).range_factor, 1.0);
+  EXPECT_GT(oac_traits(OacCluster::kCosmopolitans).variety_factor, 1.0);
+  EXPECT_GT(oac_traits(OacCluster::kCosmopolitans).visitor_ratio,
+            oac_traits(OacCluster::kSuburbanites).visitor_ratio);
+  EXPECT_GT(oac_traits(OacCluster::kCosmopolitans).seasonal_fraction,
+            oac_traits(OacCluster::kRuralResidents).seasonal_fraction);
+  // Ethnicity Central is also high-entropy urban.
+  EXPECT_GT(oac_traits(OacCluster::kEthnicityCentral).variety_factor, 1.0);
+  EXPECT_LT(oac_traits(OacCluster::kEthnicityCentral).range_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace cellscope::geo

@@ -1,0 +1,200 @@
+// Important-places construction.
+#include <gtest/gtest.h>
+
+#include "common/geodesy.h"
+#include "mobility/place.h"
+#include "population/generator.h"
+
+namespace cellscope::mobility {
+namespace {
+
+class PlaceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+    catalog_ = new population::DeviceCatalog(
+        population::DeviceCatalog::build(1));
+    population::PopulationGenerator generator{*geography_, *catalog_};
+    population::PopulationConfig config;
+    config.num_users = 3'000;
+    config.seed = 21;
+    population_ =
+        new population::Population(generator.generate(config));
+    builder_ = new PlacesBuilder(*geography_);
+  }
+  static void TearDownTestSuite() {
+    delete builder_;
+    delete population_;
+    delete catalog_;
+    delete geography_;
+  }
+
+  static const geo::UkGeography& geo() { return *geography_; }
+  static const population::Population& pop() { return *population_; }
+  static const PlacesBuilder& builder() { return *builder_; }
+
+ private:
+  static const geo::UkGeography* geography_;
+  static const population::DeviceCatalog* catalog_;
+  static const population::Population* population_;
+  static const PlacesBuilder* builder_;
+};
+const geo::UkGeography* PlaceTest::geography_ = nullptr;
+const population::DeviceCatalog* PlaceTest::catalog_ = nullptr;
+const population::Population* PlaceTest::population_ = nullptr;
+const PlacesBuilder* PlaceTest::builder_ = nullptr;
+
+TEST_F(PlaceTest, HomeIsAlwaysIndexZero) {
+  Rng root{5};
+  for (std::size_t i = 0; i < 200; ++i) {
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(pop().subscribers[i], rng);
+    ASSERT_FALSE(places.places.empty());
+    EXPECT_EQ(places.places[UserPlaces::kHomeIndex].kind, PlaceKind::kHome);
+    EXPECT_EQ(places.places[0].district, pop().subscribers[i].home_district);
+  }
+}
+
+TEST_F(PlaceTest, PlaceCountWithinPaperBounds) {
+  // People have 3-8 important places ([17, 20] via Section 2.3); our model
+  // adds the rarely-visited getaway/refuge, so allow up to 10.
+  Rng root{6};
+  for (std::size_t i = 0; i < 500; ++i) {
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(pop().subscribers[i], rng);
+    EXPECT_GE(places.size(), 3u);
+    EXPECT_LE(places.size(), 10u);
+  }
+}
+
+TEST_F(PlaceTest, WorkPlaceMatchesSubscriber) {
+  Rng root{7};
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto& user = pop().subscribers[i];
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(user, rng);
+    EXPECT_EQ(places.has_work(), user.work_district.valid());
+    if (places.has_work()) {
+      EXPECT_EQ(places.places[places.work_index].kind, PlaceKind::kWork);
+      EXPECT_EQ(places.places[places.work_index].district,
+                user.work_district);
+    }
+  }
+}
+
+TEST_F(PlaceTest, TwoErrandPlacesNearHome) {
+  Rng root{8};
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto& user = pop().subscribers[i];
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(user, rng);
+    EXPECT_EQ(places.errand_indices.size(), 2u);
+    const auto& home = geo().district(user.home_district);
+    for (const auto idx : places.errand_indices) {
+      EXPECT_EQ(places.places[idx].kind, PlaceKind::kErrand);
+      // Errands stay within the "local" or (for rural) extended reach.
+      EXPECT_LE(distance_km(home.center, places.places[idx].location), 45.0);
+    }
+  }
+}
+
+TEST_F(PlaceTest, LeisureCountScalesWithVariety) {
+  Rng root{9};
+  double cosmo_total = 0.0, suburb_total = 0.0;
+  int cosmo_n = 0, suburb_n = 0;
+  for (std::size_t i = 0; i < pop().subscribers.size(); ++i) {
+    const auto& user = pop().subscribers[i];
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(user, rng);
+    EXPECT_GE(places.leisure_indices.size(), 1u);
+    EXPECT_LE(places.leisure_indices.size(), 4u);
+    if (user.home_cluster == geo::OacCluster::kCosmopolitans) {
+      cosmo_total += places.leisure_indices.size();
+      ++cosmo_n;
+    } else if (user.home_cluster == geo::OacCluster::kSuburbanites) {
+      suburb_total += places.leisure_indices.size();
+      ++suburb_n;
+    }
+  }
+  ASSERT_GT(cosmo_n, 20);
+  ASSERT_GT(suburb_n, 20);
+  EXPECT_GT(cosmo_total / cosmo_n, suburb_total / suburb_n);
+}
+
+TEST_F(PlaceTest, GetawayInGetawayCounty) {
+  Rng root{10};
+  int getaways = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto& user = pop().subscribers[i];
+    if (!user.native) continue;
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(user, rng);
+    if (!places.has_getaway()) continue;
+    ++getaways;
+    const auto& place = places.places[places.getaway_index];
+    EXPECT_EQ(place.kind, PlaceKind::kGetaway);
+    EXPECT_GT(geo().county(place.county).getaway_attraction, 0.0);
+  }
+  EXPECT_GT(getaways, 400);
+}
+
+TEST_F(PlaceTest, SecondHomeOwnersGetRefugeInTheirCounty) {
+  Rng root{11};
+  int refuges = 0;
+  for (std::size_t i = 0; i < pop().subscribers.size(); ++i) {
+    const auto& user = pop().subscribers[i];
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(user, rng);
+    if (user.second_home && places.has_getaway()) {
+      ASSERT_TRUE(places.has_refuge());
+      EXPECT_EQ(places.places[places.refuge_index].county,
+                user.second_home_county);
+      ++refuges;
+    }
+    if (!user.second_home) {
+      EXPECT_FALSE(places.has_refuge());
+    }
+  }
+  EXPECT_GT(refuges, 10);
+}
+
+TEST_F(PlaceTest, DeterministicGivenSameRngStream) {
+  const auto& user = pop().subscribers[42];
+  Rng a = Rng{123}.fork("p", 42);
+  Rng b = Rng{123}.fork("p", 42);
+  const auto pa = builder().build(user, a);
+  const auto pb = builder().build(user, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa.places[i].district, pb.places[i].district);
+    EXPECT_EQ(pa.places[i].location, pb.places[i].location);
+  }
+}
+
+TEST_F(PlaceTest, PlaceGeographyConsistent) {
+  Rng root{12};
+  for (std::size_t i = 0; i < 300; ++i) {
+    Rng rng = root.fork("places", i);
+    const auto places = builder().build(pop().subscribers[i], rng);
+    for (const auto& place : places.places) {
+      const auto& district = geo().district(place.district);
+      EXPECT_EQ(place.county, district.county);
+      // Sampled inside the district disc.
+      EXPECT_LE(distance_km(district.center, place.location),
+                district.radius_km + 0.01);
+    }
+  }
+}
+
+TEST(SamplePointIn, StaysWithinDisc) {
+  const auto geography = geo::UkGeography::build();
+  const auto& district = geography.districts().front();
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const LatLon p = PlacesBuilder::sample_point_in(district, rng);
+    EXPECT_LE(distance_km(district.center, p), district.radius_km + 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace cellscope::mobility

@@ -1,0 +1,249 @@
+// Policy timeline and epidemic curve.
+#include <gtest/gtest.h>
+
+#include "mobility/policy.h"
+
+namespace cellscope::mobility {
+namespace {
+
+TEST(Policy, PhaseBoundaries) {
+  PolicyTimeline policy;
+  EXPECT_EQ(policy.phase(0), PolicyPhase::kBaseline);
+  EXPECT_EQ(policy.phase(timeline::kWorkFromHomeAdvice - 1),
+            PolicyPhase::kBaseline);
+  EXPECT_EQ(policy.phase(timeline::kWorkFromHomeAdvice),
+            PolicyPhase::kVoluntary);
+  EXPECT_EQ(policy.phase(timeline::kLockdownOrder - 1),
+            PolicyPhase::kVoluntary);
+  EXPECT_EQ(policy.phase(timeline::kLockdownOrder), PolicyPhase::kLockdown);
+  EXPECT_EQ(policy.phase(97), PolicyPhase::kLockdown);
+}
+
+TEST(Policy, SchoolsAndVenuesCloseTogether) {
+  PolicyTimeline policy;
+  EXPECT_TRUE(policy.schools_open(timeline::kVenueClosures - 1));
+  EXPECT_FALSE(policy.schools_open(timeline::kVenueClosures));
+  EXPECT_TRUE(policy.venues_open(timeline::kVenueClosures - 1));
+  EXPECT_FALSE(policy.venues_open(timeline::kVenueClosures));
+}
+
+TEST(Policy, WfhAdviceFromMarch16) {
+  PolicyTimeline policy;
+  EXPECT_FALSE(policy.wfh_advised(timeline::kWorkFromHomeAdvice - 1));
+  EXPECT_TRUE(policy.wfh_advised(timeline::kWorkFromHomeAdvice));
+}
+
+TEST(Policy, SuppressionIsZeroBeforeThePandemic) {
+  PolicyTimeline policy;
+  for (SimDay d = 0; d < week_start_day(11); ++d)
+    EXPECT_DOUBLE_EQ(policy.mobility_suppression(d, geo::Region::kRestOfUk),
+                     0.0)
+        << d;
+}
+
+TEST(Policy, SuppressionPeaksInWeeks13And14) {
+  PolicyTimeline policy;
+  const auto at_week = [&](int w, geo::Region r) {
+    return policy.mobility_suppression(week_start_day(w), r);
+  };
+  const auto region = geo::Region::kRestOfUk;
+  EXPECT_LT(at_week(12, region), at_week(13, region));
+  EXPECT_DOUBLE_EQ(at_week(13, region), at_week(14, region));
+  EXPECT_GT(at_week(13, region), 0.8);
+  // Slight relaxation from week 15.
+  EXPECT_LT(at_week(15, region), at_week(14, region));
+}
+
+TEST(Policy, RegionalRelaxationInWeeks18And19) {
+  PolicyTimeline policy;
+  const SimDay wk18 = week_start_day(18);
+  const double london =
+      policy.mobility_suppression(wk18, geo::Region::kInnerLondon);
+  const double wyork =
+      policy.mobility_suppression(wk18, geo::Region::kWestYorkshire);
+  const double manchester =
+      policy.mobility_suppression(wk18, geo::Region::kGreaterManchester);
+  const double midlands =
+      policy.mobility_suppression(wk18, geo::Region::kWestMidlands);
+  EXPECT_LT(london, manchester);
+  EXPECT_LT(wyork, midlands);
+  // Before week 18 all regions are identical.
+  const SimDay wk16 = week_start_day(16);
+  EXPECT_DOUBLE_EQ(
+      policy.mobility_suppression(wk16, geo::Region::kInnerLondon),
+      policy.mobility_suppression(wk16, geo::Region::kGreaterManchester));
+}
+
+TEST(Policy, SuppressionRampsWithinWeek12) {
+  PolicyTimeline policy;
+  const auto region = geo::Region::kRestOfUk;
+  EXPECT_LT(policy.mobility_suppression(timeline::kVenueClosures - 1, region),
+            policy.mobility_suppression(timeline::kVenueClosures, region));
+}
+
+TEST(Policy, RelocationWindow) {
+  PolicyTimeline policy;
+  EXPECT_FALSE(policy.relocation_window(timeline::kWorkFromHomeAdvice - 1));
+  EXPECT_TRUE(policy.relocation_window(timeline::kWorkFromHomeAdvice));
+  EXPECT_TRUE(policy.relocation_window(timeline::kLockdownOrder));
+  EXPECT_FALSE(policy.relocation_window(timeline::kLockdownOrder + 1));
+}
+
+TEST(Policy, PreLockdownRushIsTheWeekendBeforeTheOrder) {
+  PolicyTimeline policy;
+  int rush_days = 0;
+  for (SimDay d = 0; d < 98; ++d) {
+    if (policy.pre_lockdown_rush(d)) {
+      ++rush_days;
+      EXPECT_TRUE(is_weekend(d)) << d;
+      EXPECT_LT(d, timeline::kLockdownOrder);
+      EXPECT_GE(d, timeline::kLockdownOrder - 2);
+    }
+  }
+  EXPECT_EQ(rush_days, 2);
+}
+
+TEST(Policy, VoiceMultiplierShape) {
+  PolicyTimeline policy;
+  const auto at_week = [&](int w) {
+    return policy.voice_demand_multiplier(week_start_day(w));
+  };
+  EXPECT_DOUBLE_EQ(at_week(9), 1.0);
+  EXPECT_GT(at_week(10), 1.0);
+  EXPECT_GT(at_week(11), at_week(10));
+  EXPECT_GT(at_week(12), at_week(11));  // the spike week
+  // Peak at week 12, then decays but stays elevated.
+  for (int w = 13; w <= 19; ++w) {
+    EXPECT_LE(at_week(w), at_week(12)) << w;
+    EXPECT_GT(at_week(w), 1.3) << w;
+  }
+}
+
+TEST(Policy, DataDemandBumpInWeeks10And11) {
+  PolicyTimeline policy;
+  EXPECT_DOUBLE_EQ(policy.data_demand_multiplier(week_start_day(9)), 1.0);
+  EXPECT_GT(policy.data_demand_multiplier(week_start_day(10)), 1.0);
+  EXPECT_GT(policy.data_demand_multiplier(week_start_day(11)), 1.0);
+  EXPECT_DOUBLE_EQ(policy.data_demand_multiplier(week_start_day(12)), 1.0);
+}
+
+TEST(Policy, ContentThrottlingFromVenueClosureDay) {
+  PolicyTimeline policy;
+  EXPECT_FALSE(policy.content_throttling(timeline::kVenueClosures - 1));
+  EXPECT_TRUE(policy.content_throttling(timeline::kVenueClosures));
+}
+
+TEST(EpidemicCurve, MonotoneAndSaturating) {
+  EpidemicCurve curve;
+  double previous = 0.0;
+  for (SimDay d = 0; d < 120; ++d) {
+    const double c = curve.cumulative_cases(d);
+    EXPECT_GE(c, previous);
+    previous = c;
+  }
+  EXPECT_LT(previous, 250'000.0);
+  EXPECT_GT(previous, 200'000.0);  // approaching the plateau
+}
+
+TEST(EpidemicCurve, CalibratedToDeclarationMilestone) {
+  // Fig 4's red line: pandemic declared at ~1,000 cumulative cases.
+  EpidemicCurve curve;
+  const double at_declaration =
+      curve.cumulative_cases(timeline::kPandemicDeclared);
+  EXPECT_GT(at_declaration, 300.0);
+  EXPECT_LT(at_declaration, 3'000.0);
+}
+
+TEST(EpidemicCurve, EarlyMayTotalNearReported) {
+  // ~190k UK lab-confirmed cases by 4 May 2020 (sim day 91).
+  EpidemicCurve curve;
+  const double may4 = curve.cumulative_cases(91);
+  EXPECT_GT(may4, 120'000.0);
+  EXPECT_LT(may4, 240'000.0);
+}
+
+// ------------------------------------------------------- counterfactuals
+
+TEST(PolicyParams, DefaultsReproduceThePaperTimeline) {
+  PolicyTimeline actual;
+  PolicyTimeline configured{PolicyParams{}};
+  for (SimDay d = 0; d < 98; ++d) {
+    EXPECT_EQ(actual.phase(d), configured.phase(d)) << d;
+    EXPECT_DOUBLE_EQ(
+        actual.mobility_suppression(d, geo::Region::kInnerLondon),
+        configured.mobility_suppression(d, geo::Region::kInnerLondon))
+        << d;
+    EXPECT_DOUBLE_EQ(actual.voice_demand_multiplier(d),
+                     configured.voice_demand_multiplier(d));
+  }
+}
+
+TEST(PolicyParams, NoLockdownStaysVoluntary) {
+  PolicyParams params;
+  params.lockdown_enabled = false;
+  PolicyTimeline policy{params};
+  for (SimDay d = timeline::kLockdownOrder; d < 98; ++d) {
+    EXPECT_EQ(policy.phase(d), PolicyPhase::kVoluntary) << d;
+    EXPECT_NEAR(policy.mobility_suppression(d, geo::Region::kRestOfUk), 0.35,
+                1e-9)
+        << d;
+    EXPECT_FALSE(policy.pre_lockdown_rush(d));
+  }
+  // A shorter relocation window still exists (students go home at closure).
+  EXPECT_TRUE(policy.relocation_window(timeline::kWorkFromHomeAdvice + 3));
+  EXPECT_FALSE(
+      policy.relocation_window(timeline::kWorkFromHomeAdvice + 10));
+}
+
+TEST(PolicyParams, EarlierLockdownShiftsTheSchedule) {
+  PolicyParams params;
+  params.lockdown_day = timeline::kLockdownOrder - 7;
+  PolicyTimeline policy{params};
+  EXPECT_EQ(policy.phase(params.lockdown_day), PolicyPhase::kLockdown);
+  EXPECT_GT(policy.mobility_suppression(params.lockdown_day,
+                                        geo::Region::kRestOfUk),
+            0.8);
+  // The relaxation milestones shift with the order.
+  EXPECT_LT(policy.mobility_suppression(params.lockdown_day + 20,
+                                        geo::Region::kRestOfUk),
+            policy.mobility_suppression(params.lockdown_day + 5,
+                                        geo::Region::kRestOfUk));
+}
+
+TEST(PolicyParams, SuppressionScale) {
+  PolicyParams params;
+  params.suppression_scale = 0.5;
+  PolicyTimeline half{params};
+  PolicyTimeline full;
+  const SimDay d = timeline::kLockdownOrder + 3;
+  EXPECT_NEAR(half.mobility_suppression(d, geo::Region::kRestOfUk),
+              0.5 * full.mobility_suppression(d, geo::Region::kRestOfUk),
+              1e-9);
+}
+
+TEST(PolicyParams, RegionalRelaxationCanBeDisabled) {
+  PolicyParams params;
+  params.regional_relaxation = false;
+  PolicyTimeline policy{params};
+  const SimDay wk18 = week_start_day(18);
+  EXPECT_DOUBLE_EQ(
+      policy.mobility_suppression(wk18, geo::Region::kInnerLondon),
+      policy.mobility_suppression(wk18, geo::Region::kGreaterManchester));
+}
+
+TEST(PolicyParams, VoiceSurgeScale) {
+  PolicyParams params;
+  params.voice_surge_scale = 0.0;
+  PolicyTimeline flat{params};
+  for (SimDay d = 0; d < 98; ++d)
+    EXPECT_DOUBLE_EQ(flat.voice_demand_multiplier(d), 1.0);
+  params.voice_surge_scale = 2.0;
+  PolicyTimeline doubled{params};
+  const SimDay spike = week_start_day(12);
+  PolicyTimeline normal;
+  EXPECT_NEAR(doubled.voice_demand_multiplier(spike) - 1.0,
+              2.0 * (normal.voice_demand_multiplier(spike) - 1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace cellscope::mobility

@@ -1,0 +1,217 @@
+// Population synthesis: placement, archetypes, workplaces, special SIMs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/geodesy.h"
+#include "population/generator.h"
+
+namespace cellscope::population {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+    catalog_ = new DeviceCatalog(DeviceCatalog::build(1));
+    PopulationGenerator generator{*geography_, *catalog_};
+    PopulationConfig config;
+    config.num_users = 12'000;
+    config.seed = 11;
+    population_ = new Population(generator.generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    delete catalog_;
+    delete geography_;
+  }
+
+  static const geo::UkGeography& geo() { return *geography_; }
+  static const Population& pop() { return *population_; }
+
+ private:
+  static const geo::UkGeography* geography_;
+  static const DeviceCatalog* catalog_;
+  static const Population* population_;
+};
+const geo::UkGeography* PopulationTest::geography_ = nullptr;
+const DeviceCatalog* PopulationTest::catalog_ = nullptr;
+const Population* PopulationTest::population_ = nullptr;
+
+TEST_F(PopulationTest, CountsIncludeM2mAndRoamers) {
+  // 12000 natives + 8% M2M + 4% roamers.
+  EXPECT_EQ(pop().subscribers.size(), 12'000u + 960u + 480u);
+}
+
+TEST_F(PopulationTest, IdsAreDense) {
+  for (std::size_t i = 0; i < pop().subscribers.size(); ++i)
+    EXPECT_EQ(pop().subscribers[i].id.value(), i);
+}
+
+TEST_F(PopulationTest, EligibleCountExcludesM2mAndRoamers) {
+  std::size_t manual = 0;
+  for (const auto& s : pop().subscribers)
+    if (s.native && s.smartphone) ++manual;
+  EXPECT_EQ(pop().eligible_count(), manual);
+  // Most natives are smartphone users.
+  EXPECT_GT(pop().eligible_count(), 11'000u);
+  EXPECT_LE(pop().eligible_count(), 12'000u);
+}
+
+TEST_F(PopulationTest, HomePlacementTracksCensus) {
+  // Per-county subscriber share within a few points of the census share.
+  std::map<std::uint32_t, int> by_county;
+  int natives = 0;
+  for (const auto& s : pop().subscribers) {
+    if (!s.native || !s.smartphone) continue;
+    ++by_county[s.home_county.value()];
+    ++natives;
+  }
+  for (const auto& county : geo().counties()) {
+    const double expected =
+        double(county.census_population) / double(geo().census_total());
+    const double actual = double(by_county[county.id.value()]) / natives;
+    EXPECT_NEAR(actual, expected, 0.02) << county.name;
+  }
+}
+
+TEST_F(PopulationTest, HomeFieldsAreConsistent) {
+  for (const auto& s : pop().subscribers) {
+    const auto& district = geo().district(s.home_district);
+    EXPECT_EQ(s.home_county, district.county);
+    EXPECT_EQ(s.home_region, district.region);
+    EXPECT_EQ(s.home_cluster, district.cluster);
+  }
+}
+
+TEST_F(PopulationTest, WorkersHaveReachableWorkplaces) {
+  int with_work = 0;
+  for (const auto& s : pop().subscribers) {
+    if (!s.work_district.valid()) continue;
+    ++with_work;
+    const auto& home = geo().district(s.home_district);
+    const auto& work = geo().district(s.work_district);
+    EXPECT_LE(distance_km(home.center, work.center), 61.0);
+    EXPECT_GT(work.job_weight, 0.0);
+  }
+  EXPECT_GT(with_work, 5000);  // office + key workers + students
+}
+
+TEST_F(PopulationTest, ArchetypesOnlyCommuteWhenExpected) {
+  for (const auto& s : pop().subscribers) {
+    if (!s.native || !s.smartphone) continue;
+    const bool commuting_archetype =
+        s.archetype == Archetype::kOfficeWorker ||
+        s.archetype == Archetype::kKeyWorker ||
+        s.archetype == Archetype::kStudent;
+    if (!commuting_archetype) {
+      EXPECT_FALSE(s.work_district.valid())
+          << archetype_name(s.archetype);
+    }
+  }
+}
+
+TEST_F(PopulationTest, SeasonalResidentsConcentrateInCosmopolitanAreas) {
+  std::map<int, std::pair<int, int>> per_cluster;  // cluster -> (seasonal, total)
+  for (const auto& s : pop().subscribers) {
+    if (!s.native || !s.smartphone) continue;
+    auto& [seasonal, total] = per_cluster[static_cast<int>(s.home_cluster)];
+    seasonal += s.archetype == Archetype::kSeasonalResident;
+    ++total;
+  }
+  const auto rate = [&](geo::OacCluster c) {
+    const auto& [seasonal, total] = per_cluster[static_cast<int>(c)];
+    return total ? double(seasonal) / total : 0.0;
+  };
+  EXPECT_GT(rate(geo::OacCluster::kCosmopolitans),
+            rate(geo::OacCluster::kSuburbanites));
+  EXPECT_GT(rate(geo::OacCluster::kCosmopolitans), 0.15);
+}
+
+TEST_F(PopulationTest, SecondHomesPointAtGetawayCounties) {
+  int second_homes = 0;
+  for (const auto& s : pop().subscribers) {
+    if (!s.second_home) continue;
+    ++second_homes;
+    ASSERT_TRUE(s.second_home_county.valid());
+    EXPECT_GT(geo().county(s.second_home_county).getaway_attraction, 0.0);
+  }
+  EXPECT_GT(second_homes, 100);
+}
+
+TEST_F(PopulationTest, RoamersAreForeignSeasonals) {
+  int roamers = 0;
+  for (const auto& s : pop().subscribers) {
+    if (s.native) continue;
+    ++roamers;
+    EXPECT_EQ(s.archetype, Archetype::kSeasonalResident);
+  }
+  EXPECT_EQ(roamers, 480);
+}
+
+TEST_F(PopulationTest, M2mSimsAreNotSmartphones) {
+  int m2m = 0;
+  for (const auto& s : pop().subscribers)
+    if (s.native && !s.smartphone) ++m2m;
+  // 8% M2M plus the small feature-phone share among natives.
+  EXPECT_GE(m2m, 960);
+  EXPECT_LE(m2m, 960 + 600);
+}
+
+TEST(PopulationGenerator, DeterministicForSeed) {
+  const auto geography = geo::UkGeography::build();
+  const auto catalog = DeviceCatalog::build(1);
+  PopulationGenerator generator{geography, catalog};
+  PopulationConfig config;
+  config.num_users = 500;
+  config.seed = 77;
+  const auto a = generator.generate(config);
+  const auto b = generator.generate(config);
+  ASSERT_EQ(a.subscribers.size(), b.subscribers.size());
+  for (std::size_t i = 0; i < a.subscribers.size(); ++i) {
+    EXPECT_EQ(a.subscribers[i].home_district, b.subscribers[i].home_district);
+    EXPECT_EQ(a.subscribers[i].archetype, b.subscribers[i].archetype);
+    EXPECT_EQ(a.subscribers[i].tac, b.subscribers[i].tac);
+  }
+}
+
+TEST(PopulationGenerator, RejectsZeroUsers) {
+  const auto geography = geo::UkGeography::build();
+  const auto catalog = DeviceCatalog::build(1);
+  PopulationGenerator generator{geography, catalog};
+  PopulationConfig config;
+  config.num_users = 0;
+  EXPECT_THROW((void)generator.generate(config), std::invalid_argument);
+}
+
+TEST(ArchetypeWeights, SumToOneIsh) {
+  for (const auto cluster : geo::all_oac_clusters()) {
+    const auto weights = archetype_weights(cluster);
+    double total = 0.0;
+    for (const double w : weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 0.06) << geo::oac_name(cluster);
+  }
+}
+
+TEST(ArchetypeWeights, ClusterContrasts) {
+  const auto cosmo = archetype_weights(geo::OacCluster::kCosmopolitans);
+  const auto rural = archetype_weights(geo::OacCluster::kRuralResidents);
+  const auto student = static_cast<int>(Archetype::kStudent);
+  const auto retiree = static_cast<int>(Archetype::kRetiree);
+  EXPECT_GT(cosmo[student], rural[student]);
+  EXPECT_GT(rural[retiree], cosmo[retiree]);
+}
+
+TEST(ArchetypeNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kArchetypeCount; ++i)
+    names.insert(archetype_name(static_cast<Archetype>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kArchetypeCount));
+}
+
+}  // namespace
+}  // namespace cellscope::population

@@ -1,0 +1,64 @@
+// Passive signaling probe aggregation.
+#include <gtest/gtest.h>
+
+#include "telemetry/probes.h"
+
+namespace cellscope::telemetry {
+namespace {
+
+traffic::SignalingEvent make_event(SimDay day,
+                                   traffic::SignalingEventType type,
+                                   bool success = true) {
+  traffic::SignalingEvent event;
+  event.user = UserId{1};
+  event.hour = first_hour(day) + 10;
+  event.type = type;
+  event.success = success;
+  return event;
+}
+
+TEST(SignalingProbe, CountsPerDayAndType) {
+  SignalingProbe probe;
+  probe.on_event(make_event(5, traffic::SignalingEventType::kAttach));
+  probe.on_event(make_event(5, traffic::SignalingEventType::kAttach, false));
+  probe.on_event(make_event(5, traffic::SignalingEventType::kHandover));
+  probe.on_event(make_event(6, traffic::SignalingEventType::kAttach));
+  ASSERT_EQ(probe.days().size(), 2u);
+  const auto* day5 = probe.day(5);
+  ASSERT_NE(day5, nullptr);
+  EXPECT_EQ(day5->total[static_cast<int>(
+                traffic::SignalingEventType::kAttach)],
+            2u);
+  EXPECT_EQ(day5->failures[static_cast<int>(
+                traffic::SignalingEventType::kAttach)],
+            1u);
+  EXPECT_EQ(day5->total_events(), 3u);
+  EXPECT_DOUBLE_EQ(
+      day5->failure_rate(traffic::SignalingEventType::kAttach), 0.5);
+  EXPECT_DOUBLE_EQ(
+      day5->failure_rate(traffic::SignalingEventType::kDetach), 0.0);
+}
+
+TEST(SignalingProbe, UnknownDayReturnsNull) {
+  SignalingProbe probe;
+  probe.on_event(make_event(5, traffic::SignalingEventType::kAttach));
+  EXPECT_EQ(probe.day(7), nullptr);
+}
+
+TEST(SignalingProbe, DaysAppearChronologically) {
+  SignalingProbe probe;
+  for (SimDay d = 0; d < 10; ++d)
+    probe.on_event(make_event(d, traffic::SignalingEventType::kServiceRequest));
+  ASSERT_EQ(probe.days().size(), 10u);
+  for (SimDay d = 0; d < 10; ++d) EXPECT_EQ(probe.days()[d].day, d);
+}
+
+TEST(SignalingProbe, EmptyCountsAreZero) {
+  DailySignalingCounts counts;
+  EXPECT_EQ(counts.total_events(), 0u);
+  EXPECT_DOUBLE_EQ(
+      counts.failure_rate(traffic::SignalingEventType::kAttach), 0.0);
+}
+
+}  // namespace
+}  // namespace cellscope::telemetry

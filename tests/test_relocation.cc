@@ -1,0 +1,183 @@
+// Temporary relocation decisions.
+#include <gtest/gtest.h>
+
+#include "mobility/relocation.h"
+#include "population/generator.h"
+
+namespace cellscope::mobility {
+namespace {
+
+class RelocationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+    catalog_ = new population::DeviceCatalog(
+        population::DeviceCatalog::build(1));
+    population::PopulationGenerator generator{*geography_, *catalog_};
+    population::PopulationConfig config;
+    config.num_users = 6'000;
+    config.seed = 41;
+    population_ = new population::Population(generator.generate(config));
+    policy_ = new PolicyTimeline();
+    builder_ = new PlacesBuilder(*geography_);
+    model_ = new RelocationModel(*geography_, *policy_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete builder_;
+    delete policy_;
+    delete population_;
+    delete catalog_;
+    delete geography_;
+  }
+
+  // Runs the full relocation window for user i; returns the final state.
+  static UserState run_window(std::size_t i, UserPlaces& places) {
+    UserState state;
+    Rng root{91};
+    for (SimDay day = timeline::kWorkFromHomeAdvice;
+         day <= timeline::kLockdownOrder; ++day) {
+      Rng rng = root.fork("r", i * 100 + static_cast<std::size_t>(day));
+      (void)model_->maybe_decide(population_->subscribers[i], places, state,
+                                 day, rng);
+    }
+    return state;
+  }
+
+  static const geo::UkGeography* geography_;
+  static const population::DeviceCatalog* catalog_;
+  static const population::Population* population_;
+  static const PolicyTimeline* policy_;
+  static const PlacesBuilder* builder_;
+  static const RelocationModel* model_;
+};
+const geo::UkGeography* RelocationTest::geography_ = nullptr;
+const population::DeviceCatalog* RelocationTest::catalog_ = nullptr;
+const population::Population* RelocationTest::population_ = nullptr;
+const PolicyTimeline* RelocationTest::policy_ = nullptr;
+const PlacesBuilder* RelocationTest::builder_ = nullptr;
+const RelocationModel* RelocationTest::model_ = nullptr;
+
+TEST_F(RelocationTest, NoDecisionOutsideTheWindow) {
+  const auto& user = population_->subscribers[0];
+  Rng rng{1};
+  auto places = builder_->build(user, rng);
+  UserState state;
+  EXPECT_EQ(model_->maybe_decide(user, places, state, 5, rng),
+            RelocationOutcome::kStay);
+  EXPECT_FALSE(state.relocation_decided);
+  EXPECT_EQ(model_->maybe_decide(user, places, state,
+                                 timeline::kLockdownOrder + 5, rng),
+            RelocationOutcome::kStay);
+  EXPECT_FALSE(state.relocation_decided);
+}
+
+TEST_F(RelocationTest, EveryUserDecidesExactlyOnceInTheWindow) {
+  Rng root{2};
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto& user = population_->subscribers[i];
+    Rng prng = root.fork("p", i);
+    auto places = builder_->build(user, prng);
+    UserState state;
+    int decisions = 0;
+    for (SimDay day = timeline::kWorkFromHomeAdvice;
+         day <= timeline::kLockdownOrder; ++day) {
+      const bool was_decided = state.relocation_decided;
+      Rng rng = root.fork("r", i * 100 + static_cast<std::size_t>(day));
+      (void)model_->maybe_decide(user, places, state, day, rng);
+      if (!was_decided && state.relocation_decided) ++decisions;
+    }
+    EXPECT_EQ(decisions, 1) << i;
+  }
+}
+
+TEST_F(RelocationTest, AggregateOutcomeRatesMatchParameters) {
+  Rng root{3};
+  int seasonal_total = 0, seasonal_gone = 0;
+  int second_home_total = 0, second_home_relocated = 0;
+  int student_total = 0, student_relocated = 0;
+  for (std::size_t i = 0; i < population_->subscribers.size(); ++i) {
+    const auto& user = population_->subscribers[i];
+    if (!user.native) continue;
+    Rng prng = root.fork("p", i);
+    auto places = builder_->build(user, prng);
+    const UserState state = run_window(i, places);
+    if (user.archetype == population::Archetype::kSeasonalResident) {
+      ++seasonal_total;
+      seasonal_gone += state.departed || state.relocated;
+    } else if (user.second_home) {
+      ++second_home_total;
+      second_home_relocated += state.relocated;
+    }
+    if (user.archetype == population::Archetype::kStudent) {
+      ++student_total;
+      student_relocated += state.relocated;
+    }
+  }
+  const auto& params = model_->params();
+  ASSERT_GT(seasonal_total, 50);
+  EXPECT_NEAR(double(seasonal_gone) / seasonal_total,
+              params.seasonal_leave + params.seasonal_relocate, 0.08);
+  ASSERT_GT(second_home_total, 50);
+  EXPECT_NEAR(double(second_home_relocated) / second_home_total,
+              params.second_home_relocate, 0.10);
+  ASSERT_GT(student_total, 100);
+  EXPECT_NEAR(double(student_relocated) / student_total,
+              params.student_relocate, 0.08);
+}
+
+TEST_F(RelocationTest, RoamersLeaveMoreOftenThanNativeSeasonals) {
+  Rng root{4};
+  int roamer_total = 0, roamer_left = 0;
+  for (std::size_t i = 0; i < population_->subscribers.size(); ++i) {
+    const auto& user = population_->subscribers[i];
+    if (user.native) continue;
+    Rng prng = root.fork("p", i);
+    auto places = builder_->build(user, prng);
+    const UserState state = run_window(i, places);
+    ++roamer_total;
+    roamer_left += state.departed;
+  }
+  ASSERT_GT(roamer_total, 100);
+  EXPECT_NEAR(double(roamer_left) / roamer_total,
+              model_->params().roamer_leave, 0.08);
+}
+
+TEST_F(RelocationTest, RelocatedUsersGetARefugeInAnotherCounty) {
+  Rng root{5};
+  int relocated = 0;
+  for (std::size_t i = 0; i < population_->subscribers.size() && relocated < 60;
+       ++i) {
+    const auto& user = population_->subscribers[i];
+    Rng prng = root.fork("p", i);
+    auto places = builder_->build(user, prng);
+    const UserState state = run_window(i, places);
+    if (!state.relocated) continue;
+    ++relocated;
+    ASSERT_TRUE(places.has_refuge());
+    EXPECT_NE(places.places[places.refuge_index].county, user.home_county);
+  }
+  EXPECT_GT(relocated, 20);
+}
+
+TEST_F(RelocationTest, DecisionDayIsStablePerUser) {
+  // The decision day depends only on the user id, so replays are idempotent.
+  const auto& user = population_->subscribers[7];
+  Rng prng{6};
+  auto places_a = builder_->build(user, prng);
+  auto places_b = places_a;
+  UserState state_a, state_b;
+  Rng root{7};
+  for (SimDay day = timeline::kWorkFromHomeAdvice;
+       day <= timeline::kLockdownOrder; ++day) {
+    Rng rng_a = root.fork("r", static_cast<std::uint64_t>(day));
+    Rng rng_b = root.fork("r", static_cast<std::uint64_t>(day));
+    (void)model_->maybe_decide(user, places_a, state_a, day, rng_a);
+    (void)model_->maybe_decide(user, places_b, state_b, day, rng_b);
+  }
+  EXPECT_EQ(state_a.relocated, state_b.relocated);
+  EXPECT_EQ(state_a.departed, state_b.departed);
+}
+
+}  // namespace
+}  // namespace cellscope::mobility

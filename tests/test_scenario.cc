@@ -1,0 +1,62 @@
+// Scenario configuration and presets.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace cellscope::sim {
+namespace {
+
+TEST(Scenario, DefaultIsValid) {
+  EXPECT_NO_THROW(default_scenario().validate());
+  EXPECT_NO_THROW(smoke_scenario().validate());
+}
+
+TEST(Scenario, DefaultCoversThePaperWindow) {
+  const auto config = default_scenario();
+  EXPECT_EQ(config.first_week, 6);   // February warm-up
+  EXPECT_EQ(config.last_week, 19);   // mid-May
+  EXPECT_EQ(config.kpi_first_week, 9);
+  EXPECT_TRUE(config.collect_kpis);
+  EXPECT_NEAR(config.lte_time_share, 0.75, 1e-9);  // Section 2.4
+}
+
+TEST(Scenario, DayHelpers) {
+  const auto config = default_scenario();
+  EXPECT_EQ(config.first_day(), week_start_day(6));
+  EXPECT_EQ(config.last_day(), week_start_day(19) + 6);
+  EXPECT_EQ(config.kpi_first_day(), week_start_day(9));
+  EXPECT_EQ(iso_week(config.last_day()), 19);
+}
+
+TEST(Scenario, SmokeIsSmallerThanDefault) {
+  EXPECT_LT(smoke_scenario().num_users, default_scenario().num_users);
+}
+
+TEST(Scenario, ValidationRejectsBadWindows) {
+  auto config = default_scenario();
+  config.last_week = config.first_week - 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = default_scenario();
+  config.first_week = kEpochIsoWeek - 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = default_scenario();
+  config.kpi_first_week = config.last_week + 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, ValidationRejectsBadScale) {
+  auto config = default_scenario();
+  config.num_users = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = default_scenario();
+  config.lte_time_share = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.lte_time_share = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellscope::sim

@@ -1,0 +1,179 @@
+// LTE scheduler: capacity enforcement, KPI definitions, loss composition.
+#include <gtest/gtest.h>
+
+#include "radio/scheduler.h"
+
+namespace cellscope::radio {
+namespace {
+
+Cell lte_cell() {
+  Cell cell;
+  cell.id = CellId{0};
+  cell.rat = Rat::k4G;
+  cell.dl_capacity_mbps = 75.0;
+  cell.ul_capacity_mbps = 25.0;
+  return cell;
+}
+
+TEST(Scheduler, ZeroLoadProducesZeroKpis) {
+  LteScheduler scheduler;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), {}, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.dl_volume_mb, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.ul_volume_mb, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.active_dl_users, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.tti_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.user_dl_throughput_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.voice_volume_mb, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.voice_dl_loss_pct, 0.0);  // no calls, no loss sample
+}
+
+TEST(Scheduler, ServesOfferedLoadWhenUncongested) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 500.0;
+  load.offered_ul_mb = 60.0;
+  load.active_dl_user_seconds = 1800.0;
+  load.app_limited_dl_mbps = 3.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.data_dl_mb, 500.0);
+  EXPECT_DOUBLE_EQ(kpi.data_ul_mb, 60.0);
+  EXPECT_DOUBLE_EQ(kpi.dl_volume_mb, 500.0);  // no voice
+}
+
+TEST(Scheduler, CapsAtCellCapacity) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  // 75 Mbps * 0.85 * 3600 / 8 = 28687.5 MB/h DL capacity.
+  load.offered_dl_mb = 100'000.0;
+  load.offered_ul_mb = 50'000.0;
+  load.active_dl_user_seconds = 3600.0 * 50;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  EXPECT_NEAR(kpi.data_dl_mb, 28'687.5, 0.1);
+  EXPECT_NEAR(kpi.data_ul_mb, 25.0 * 0.85 * 3600 / 8, 0.1);
+  EXPECT_DOUBLE_EQ(kpi.tti_utilization, 1.0);  // clamped
+}
+
+TEST(Scheduler, VoiceIsPrioritizedOverData) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 100'000.0;  // would fill the cell alone
+  load.voice_dl_mb = 100.0;
+  load.voice_ul_mb = 100.0;
+  load.voice_user_seconds = 7200.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  // Voice rides untouched; data gets capacity minus the voice share.
+  EXPECT_DOUBLE_EQ(kpi.voice_volume_mb, 200.0);
+  EXPECT_NEAR(kpi.data_dl_mb, 28'687.5 - 100.0, 0.1);
+  EXPECT_NEAR(kpi.dl_volume_mb, 28'687.5, 0.1);
+  EXPECT_DOUBLE_EQ(kpi.simultaneous_voice_users, 2.0);
+}
+
+TEST(Scheduler, ThroughputIsApplicationLimitedWhenCellIsQuiet) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 10.0;
+  load.active_dl_user_seconds = 30.0;
+  load.app_limited_dl_mbps = 2.5;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  // Fair share is ~75*0.85 = 63.75 Mbps >> app rate: app wins.
+  EXPECT_DOUBLE_EQ(kpi.user_dl_throughput_mbps, 2.5);
+}
+
+TEST(Scheduler, ThroughputIsFairShareLimitedWhenCellIsBusy) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 20'000.0;
+  load.active_dl_user_seconds = 3600.0 * 40;  // 40 simultaneous actives
+  load.app_limited_dl_mbps = 8.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  const double fair = 75.0 * 0.85 / 40.0;  // ~1.59 Mbps
+  EXPECT_NEAR(kpi.user_dl_throughput_mbps, fair, 1e-9);
+  EXPECT_LT(kpi.user_dl_throughput_mbps, 8.0);
+}
+
+TEST(Scheduler, ActiveUsersAreSecondsOverHour) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 100.0;
+  load.active_dl_user_seconds = 1800.0;
+  load.app_limited_dl_mbps = 2.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.active_dl_users, 0.5);
+  EXPECT_DOUBLE_EQ(kpi.active_data_seconds, 1800.0);
+}
+
+TEST(Scheduler, TtiUtilizationGrowsWithLoadAndUsers) {
+  LteScheduler scheduler;
+  CellHourLoad light;
+  light.offered_dl_mb = 100.0;
+  light.connected_users = 10.0;
+  CellHourLoad heavy = light;
+  heavy.offered_dl_mb = 2'000.0;
+  heavy.connected_users = 80.0;
+  const auto kpi_light = scheduler.schedule_hour(lte_cell(), light, 0.0);
+  const auto kpi_heavy = scheduler.schedule_hour(lte_cell(), heavy, 0.0);
+  EXPECT_GT(kpi_heavy.tti_utilization, kpi_light.tti_utilization);
+  EXPECT_GT(kpi_light.tti_utilization, 0.0);
+  EXPECT_LE(kpi_heavy.tti_utilization, 1.0);
+}
+
+TEST(Scheduler, ConnectedUsersPassThrough) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.connected_users = 33.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.connected_users, 33.0);
+}
+
+TEST(Scheduler, VoiceLossComposition) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.voice_dl_mb = 10.0;
+  load.voice_ul_mb = 10.0;
+  load.voice_user_seconds = 1200.0;
+  load.offnet_voice_fraction = 0.5;
+  const double interconnect_loss = 2.0;  // percent
+  const CellHourKpi kpi =
+      scheduler.schedule_hour(lte_cell(), load, interconnect_loss);
+  // UL loss is radio-only; DL adds the off-net share of trunk loss.
+  EXPECT_GT(kpi.voice_ul_loss_pct, 0.0);
+  EXPECT_NEAR(kpi.voice_dl_loss_pct,
+              kpi.voice_ul_loss_pct + 0.5 * interconnect_loss, 1e-9);
+}
+
+TEST(Scheduler, RadioLossScalesWithCellLoad) {
+  LteScheduler scheduler;
+  CellHourLoad idle_voice;
+  idle_voice.voice_dl_mb = 5.0;
+  idle_voice.voice_user_seconds = 600.0;
+  CellHourLoad busy_voice = idle_voice;
+  busy_voice.offered_dl_mb = 20'000.0;
+  busy_voice.active_dl_user_seconds = 3600.0;
+  const auto idle_kpi = scheduler.schedule_hour(lte_cell(), idle_voice, 0.0);
+  const auto busy_kpi = scheduler.schedule_hour(lte_cell(), busy_voice, 0.0);
+  EXPECT_GT(busy_kpi.voice_ul_loss_pct, idle_kpi.voice_ul_loss_pct);
+}
+
+TEST(Scheduler, NoVoiceMeansNoLossSample) {
+  LteScheduler scheduler;
+  CellHourLoad load;
+  load.offered_dl_mb = 500.0;
+  const CellHourKpi kpi = scheduler.schedule_hour(lte_cell(), load, 5.0);
+  EXPECT_DOUBLE_EQ(kpi.voice_dl_loss_pct, 0.0);
+  EXPECT_DOUBLE_EQ(kpi.voice_ul_loss_pct, 0.0);
+}
+
+TEST(Scheduler, SmallerCellSaturatesEarlier) {
+  LteScheduler scheduler;
+  Cell small = lte_cell();
+  small.dl_capacity_mbps = 10.0;
+  CellHourLoad load;
+  load.offered_dl_mb = 5'000.0;
+  const auto kpi_small = scheduler.schedule_hour(small, load, 0.0);
+  const auto kpi_large = scheduler.schedule_hour(lte_cell(), load, 0.0);
+  EXPECT_LT(kpi_small.data_dl_mb, kpi_large.data_dl_mb);
+  EXPECT_GT(kpi_small.tti_utilization, kpi_large.tti_utilization);
+}
+
+}  // namespace
+}  // namespace cellscope::radio

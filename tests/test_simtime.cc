@@ -1,0 +1,106 @@
+// Simulation time axis: epoch, ISO weeks, calendar, the paper's windows.
+#include <gtest/gtest.h>
+
+#include "common/simtime.h"
+
+namespace cellscope {
+namespace {
+
+TEST(SimTime, EpochIsMondayFebThird) {
+  EXPECT_EQ(weekday(0), Weekday::kMonday);
+  const CalendarDate d = calendar_date(0);
+  EXPECT_EQ(d.year, 2020);
+  EXPECT_EQ(d.month, 2);
+  EXPECT_EQ(d.day, 3);
+  EXPECT_EQ(iso_week(0), 6);
+}
+
+TEST(SimTime, HourDayConversions) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(23), 0);
+  EXPECT_EQ(day_of(24), 1);
+  EXPECT_EQ(hour_of_day(25), 1);
+  EXPECT_EQ(first_hour(2), 48);
+  for (SimDay d = 0; d < 100; ++d)
+    EXPECT_EQ(day_of(first_hour(d)), d) << d;
+}
+
+TEST(SimTime, WeekdayCycle) {
+  EXPECT_EQ(weekday(5), Weekday::kSaturday);
+  EXPECT_EQ(weekday(6), Weekday::kSunday);
+  EXPECT_EQ(weekday(7), Weekday::kMonday);
+  EXPECT_TRUE(is_weekend(5));
+  EXPECT_TRUE(is_weekend(6));
+  EXPECT_FALSE(is_weekend(7));
+  EXPECT_FALSE(is_weekend(4));
+}
+
+TEST(SimTime, IsoWeekArithmetic) {
+  EXPECT_EQ(iso_week(6), 6);
+  EXPECT_EQ(iso_week(7), 7);
+  EXPECT_EQ(week_start_day(6), 0);
+  EXPECT_EQ(week_start_day(9), 21);
+  for (int w = 6; w <= 19; ++w) {
+    EXPECT_EQ(iso_week(week_start_day(w)), w);
+    EXPECT_EQ(weekday(week_start_day(w)), Weekday::kMonday);
+  }
+}
+
+// The paper's key dates (Section 1).
+TEST(SimTime, CovidTimelineAnchors) {
+  // Pandemic declared 11 March 2020, week 11.
+  EXPECT_EQ(format_date(timeline::kPandemicDeclared), "2020-03-11");
+  EXPECT_EQ(iso_week(timeline::kPandemicDeclared), 11);
+  // WFH advice 16 March, week 12.
+  EXPECT_EQ(format_date(timeline::kWorkFromHomeAdvice), "2020-03-16");
+  EXPECT_EQ(iso_week(timeline::kWorkFromHomeAdvice), 12);
+  // Venue closures 20 March, week 12.
+  EXPECT_EQ(format_date(timeline::kVenueClosures), "2020-03-20");
+  EXPECT_EQ(iso_week(timeline::kVenueClosures), 12);
+  // Lockdown order 23 March, first day of week 13.
+  EXPECT_EQ(format_date(timeline::kLockdownOrder), "2020-03-23");
+  EXPECT_EQ(iso_week(timeline::kLockdownOrder), 13);
+  EXPECT_EQ(weekday(timeline::kLockdownOrder), Weekday::kMonday);
+}
+
+TEST(SimTime, CalendarCrossesMonths) {
+  EXPECT_EQ(format_date(26), "2020-02-29");  // 2020 is a leap year
+  EXPECT_EQ(format_date(27), "2020-03-01");
+  EXPECT_EQ(format_date(57), "2020-03-31");
+  EXPECT_EQ(format_date(58), "2020-04-01");
+  EXPECT_EQ(format_date(88), "2020-05-01");
+}
+
+TEST(SimTime, FourHourBins) {
+  EXPECT_EQ(four_hour_bin(0), 0);
+  EXPECT_EQ(four_hour_bin(3), 0);
+  EXPECT_EQ(four_hour_bin(4), 1);
+  EXPECT_EQ(four_hour_bin(23), 5);
+  int counts[kFourHourBinsPerDay] = {};
+  for (int h = 0; h < kHoursPerDay; ++h) ++counts[four_hour_bin(h)];
+  for (const int c : counts) EXPECT_EQ(c, 4);  // six disjoint 4-hour bins
+}
+
+TEST(SimTime, NighttimeWindow) {
+  // Home detection window: midnight through 8 AM (Section 2.3).
+  for (int h = 0; h < 8; ++h) EXPECT_TRUE(is_nighttime(h)) << h;
+  for (int h = 8; h < 24; ++h) EXPECT_FALSE(is_nighttime(h)) << h;
+}
+
+TEST(SimTime, DescribeDay) {
+  EXPECT_EQ(describe_day(0), "Mon 2020-02-03 (wk 6)");
+  EXPECT_EQ(describe_day(timeline::kLockdownOrder),
+            "Mon 2020-03-23 (wk 13)");
+  EXPECT_EQ(weekday_name(Weekday::kSunday), "Sun");
+}
+
+TEST(SimTime, FebruaryWindowCoversHomeDetection) {
+  // At least 14 candidate nights must fit before the analysis window opens
+  // at week 9 (Section 2.3's requirement).
+  EXPECT_GE(week_start_day(9) - kFebruaryFirstDay, 14);
+  EXPECT_EQ(calendar_date(kFebruaryEndDay - 1).month, 2);
+  EXPECT_EQ(calendar_date(kFebruaryEndDay).month, 3);
+}
+
+}  // namespace
+}  // namespace cellscope

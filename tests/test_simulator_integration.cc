@@ -1,0 +1,340 @@
+// End-to-end simulator integration: one shared run at reduced scale,
+// checked for structural completeness, determinism and the paper's
+// directional findings.
+#include <gtest/gtest.h>
+
+#include "analysis/network_metrics.h"
+#include "sim/simulator.h"
+
+namespace cellscope::sim {
+namespace {
+
+ScenarioConfig test_config() {
+  ScenarioConfig config = default_scenario();
+  config.num_users = 8'000;
+  config.seed = 1234;
+  return config;
+}
+
+class SimulatorIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Dataset(run_scenario(test_config()));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const Dataset& data() { return *data_; }
+
+ private:
+  static const Dataset* data_;
+};
+const Dataset* SimulatorIntegrationTest::data_ = nullptr;
+
+TEST_F(SimulatorIntegrationTest, SubstrateIsPopulated) {
+  EXPECT_FALSE(data().geography->districts().empty());
+  EXPECT_FALSE(data().population->subscribers.empty());
+  EXPECT_FALSE(data().topology->sites().empty());
+  EXPECT_GT(data().eligible_users, 7'000u);
+}
+
+TEST_F(SimulatorIntegrationTest, HomesDetectedForMostEligibleUsers) {
+  EXPECT_GT(data().homes.size(), data().eligible_users * 9 / 10);
+  EXPECT_LE(data().homes.size(), data().eligible_users);
+  // Fig 2: near-linear inferred-vs-census relationship.
+  EXPECT_GT(data().home_validation.fit.r_squared, 0.9);
+}
+
+TEST_F(SimulatorIntegrationTest, MobilitySeriesCoverTheWindow) {
+  const auto& gyration = data().gyration_national.group(0);
+  EXPECT_EQ(gyration.first_day(), data().config.first_day());
+  EXPECT_EQ(gyration.last_day(), data().config.last_day());
+  for (SimDay d = gyration.first_day(); d <= gyration.last_day(); ++d) {
+    EXPECT_TRUE(gyration.has(d)) << d;
+    EXPECT_GT(gyration.count(d), 5'000u) << d;  // most users observed daily
+  }
+}
+
+TEST_F(SimulatorIntegrationTest, MobilityDropsAfterLockdown) {
+  const double g_base = data().gyration_baseline();
+  const double e_base = data().entropy_baseline();
+  ASSERT_GT(g_base, 0.0);
+  ASSERT_GT(e_base, 0.0);
+  const double g_lockdown = data().gyration_national.week_baseline(0, 14);
+  const double e_lockdown = data().entropy_national.week_baseline(0, 14);
+  EXPECT_LT(g_lockdown, 0.6 * g_base);  // ~-50% or deeper
+  EXPECT_LT(e_lockdown, 0.8 * e_base);
+  // Entropy falls relatively less than gyration (Section 3.1).
+  EXPECT_GT(e_lockdown / e_base, g_lockdown / g_base);
+}
+
+TEST_F(SimulatorIntegrationTest, KpiStoreSpansTheAnalysisWindow) {
+  EXPECT_EQ(data().kpis.first_day(), week_start_day(9));
+  EXPECT_EQ(data().kpis.last_day(), data().config.last_day());
+  // Every record belongs to an LTE cell.
+  for (const auto& record : data().kpis.records()) {
+    EXPECT_EQ(data().topology->cell(record.cell).rat, radio::Rat::k4G);
+    EXPECT_GE(record.dl_volume_mb, 0.0);
+    EXPECT_GE(record.tti_utilization, 0.0);
+    EXPECT_LE(record.tti_utilization, 1.0);
+  }
+}
+
+TEST_F(SimulatorIntegrationTest, DownlinkVolumeFallsVoiceRises) {
+  const auto grouping =
+      analysis::group_by_region(*data().geography, *data().topology);
+  analysis::KpiGroupSeries dl{data().kpis, grouping,
+                              telemetry::KpiMetric::kDlVolume};
+  analysis::KpiGroupSeries voice{data().kpis, grouping,
+                                 telemetry::KpiMetric::kVoiceVolume};
+  const double dl_base = dl.baseline(0, 9);
+  const double dl_lockdown = dl.group(0).week_median(15);
+  ASSERT_GT(dl_base, 0.0);
+  EXPECT_LT(dl_lockdown, 0.92 * dl_base);  // clear decrease
+  const double voice_base = voice.baseline(0, 9);
+  const double voice_spike = voice.group(0).week_median(12);
+  ASSERT_GT(voice_base, 0.0);
+  EXPECT_GT(voice_spike, 1.5 * voice_base);  // clear surge
+}
+
+TEST_F(SimulatorIntegrationTest, LondonMatrixShowsRelocation) {
+  ASSERT_NE(data().london_matrix, nullptr);
+  ASSERT_GT(data().london_residents_tracked, 300u);
+  const auto inner = *data().geography->county_by_name("Inner London");
+  // Week 9 presence near the tracked count; lockdown presence lower.
+  double week9 = 0.0, week15 = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    week9 += data().london_matrix->presence(inner, week_start_day(9) + i);
+    week15 += data().london_matrix->presence(inner, week_start_day(15) + i);
+  }
+  EXPECT_LT(week15, week9 * 0.98);
+  EXPECT_GT(week15, week9 * 0.75);  // but not a collapse
+}
+
+TEST_F(SimulatorIntegrationTest, SignalingProbeSawTheWholeWindow) {
+  ASSERT_FALSE(data().signaling.days().empty());
+  EXPECT_EQ(data().signaling.days().front().day, week_start_day(9));
+  const auto* first = data().signaling.day(week_start_day(9));
+  ASSERT_NE(first, nullptr);
+  EXPECT_GT(first->total_events(), 10'000u);
+  // Attach failures exist but are rare.
+  const double rate =
+      first->failure_rate(traffic::SignalingEventType::kAttach);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST_F(SimulatorIntegrationTest, InterconnectDiagnosticsRecorded) {
+  bool any_loss = false;
+  for (SimDay d = week_start_day(10); d <= week_start_day(13); ++d)
+    any_loss |= data().interconnect_busy_hour_loss_pct.value(d) > 0.2;
+  EXPECT_TRUE(any_loss);  // the weeks-10..12 congestion episode
+}
+
+TEST_F(SimulatorIntegrationTest, DistributionBandsSealedDaily) {
+  const auto& gyration = data().gyration_distribution;
+  for (SimDay d = gyration.first_day(); d <= gyration.last_day(); ++d) {
+    ASSERT_TRUE(gyration.has(d)) << d;
+    const auto& s = gyration.day_summary(d);
+    EXPECT_GT(s.n, 5'000u);
+    EXPECT_LE(s.p10, s.median);
+    EXPECT_LE(s.median, s.p90);
+  }
+  // Lockdown median below baseline median (bands track the story).
+  using Band = analysis::DistributionSeries::Band;
+  EXPECT_LT(gyration.week_band(14, Band::kMedian),
+            gyration.week_band(9, Band::kMedian));
+}
+
+TEST_F(SimulatorIntegrationTest, RoamersCollapseAfterRestrictions) {
+  const double before = data().roamers_active.week_mean(9);
+  const double during = data().roamers_active.week_mean(15);
+  ASSERT_GT(before, 50.0);
+  EXPECT_LT(during, 0.5 * before);
+}
+
+TEST_F(SimulatorIntegrationTest, MeasuredLteShareNearConfigured) {
+  // Sites without legacy RATs serve everything on 4G, so the measured
+  // share sits at or above the configured 75%.
+  EXPECT_GE(data().measured_lte_time_share,
+            data().config.lte_time_share - 0.02);
+  EXPECT_LE(data().measured_lte_time_share, 0.95);
+}
+
+TEST(SimulatorCounterfactual, NoLockdownMeansShallowerDrop) {
+  auto actual_config = test_config();
+  actual_config.num_users = 3'000;
+  actual_config.collect_kpis = false;
+  actual_config.collect_signaling = false;
+  auto counterfactual_config = actual_config;
+  counterfactual_config.policy.lockdown_enabled = false;
+
+  const Dataset actual = run_scenario(actual_config);
+  const Dataset counterfactual = run_scenario(counterfactual_config);
+  const auto trough = [](const Dataset& data) {
+    return data.gyration_national.week_baseline(0, 14) /
+           data.gyration_baseline();
+  };
+  // Voluntary-only mobility stays well above the ordered-lockdown level.
+  EXPECT_GT(trough(counterfactual), trough(actual) + 0.1);
+}
+
+TEST(SimulatorCounterfactual, BinnedMobilityOptIn) {
+  auto config = test_config();
+  config.num_users = 2'000;
+  config.collect_kpis = false;
+  config.collect_signaling = false;
+  config.collect_binned_mobility = true;
+  const Dataset data = run_scenario(config);
+  ASSERT_EQ(data.entropy_by_bin.group_count(),
+            static_cast<std::size_t>(kFourHourBinsPerDay));
+  // The deep-night bin has data (everyone sleeps somewhere)...
+  EXPECT_GT(data.gyration_by_bin.group(0).count(30), 1'000u);
+  // ...and daytime bins carry real movement pre-pandemic.
+  EXPECT_GT(data.gyration_by_bin.week_baseline(2, 9), 0.5);
+}
+
+TEST(SimulatorParallel, ReproducesTheSerialRun) {
+  auto config = test_config();
+  config.num_users = 3'000;
+  const Dataset serial = run_scenario(config);
+  auto parallel_config = config;
+  parallel_config.worker_threads = 4;
+  const Dataset parallel = run_scenario(parallel_config);
+
+  // Mobility outputs are applied in user-index order regardless of the
+  // thread count: bit-identical.
+  for (SimDay d = config.first_day(); d <= config.last_day(); d += 5) {
+    EXPECT_DOUBLE_EQ(serial.gyration_national.group(0).value(d),
+                     parallel.gyration_national.group(0).value(d))
+        << d;
+    EXPECT_DOUBLE_EQ(serial.entropy_national.group(0).value(d),
+                     parallel.entropy_national.group(0).value(d))
+        << d;
+  }
+  ASSERT_EQ(serial.homes.size(), parallel.homes.size());
+  for (std::size_t i = 0; i < serial.homes.size(); i += 97) {
+    EXPECT_EQ(serial.homes[i].user, parallel.homes[i].user);
+    EXPECT_EQ(serial.homes[i].home_district, parallel.homes[i].home_district);
+  }
+  EXPECT_EQ(serial.london_residents_tracked,
+            parallel.london_residents_tracked);
+
+  // Signaling counters are integers: identical after the probe merge.
+  ASSERT_EQ(serial.signaling.days().size(), parallel.signaling.days().size());
+  for (std::size_t d = 0; d < serial.signaling.days().size(); d += 7) {
+    EXPECT_EQ(serial.signaling.days()[d].total_events(),
+              parallel.signaling.days()[d].total_events());
+  }
+
+  // KPI sums merge per shard: equal up to float rounding.
+  ASSERT_EQ(serial.kpis.records().size(), parallel.kpis.records().size());
+  for (std::size_t i = 0; i < serial.kpis.records().size(); i += 211) {
+    const auto& a = serial.kpis.records()[i];
+    const auto& b = parallel.kpis.records()[i];
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_NEAR(a.dl_volume_mb, b.dl_volume_mb,
+                1e-6 * std::max(1.0, a.dl_volume_mb));
+    EXPECT_NEAR(a.connected_users, b.connected_users, 1e-9);
+  }
+}
+
+TEST(SimulatorParallel, ThreadCountIsDeterministic) {
+  auto config = test_config();
+  config.num_users = 1'500;
+  config.worker_threads = 3;
+  config.collect_signaling = false;
+  const Dataset a = run_scenario(config);
+  const Dataset b = run_scenario(config);
+  EXPECT_DOUBLE_EQ(a.gyration_baseline(), b.gyration_baseline());
+  ASSERT_EQ(a.kpis.records().size(), b.kpis.records().size());
+  for (std::size_t i = 0; i < a.kpis.records().size(); i += 101)
+    EXPECT_DOUBLE_EQ(a.kpis.records()[i].dl_volume_mb,
+                     b.kpis.records()[i].dl_volume_mb);
+}
+
+TEST(SimulatorParallel, RejectsBadThreadCount) {
+  auto config = test_config();
+  config.worker_threads = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.worker_threads = 1000;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(SimulatorOptions, LegacyKpiOptIn) {
+  auto config = test_config();
+  config.num_users = 2'500;
+  config.collect_signaling = false;
+  config.collect_legacy_kpis = true;
+  const Dataset data = run_scenario(config);
+  // The store now contains 2G/3G rows alongside 4G ones.
+  double legacy_dl = 0.0, lte_dl = 0.0;
+  std::size_t legacy_rows = 0;
+  for (const auto& record : data.kpis.records()) {
+    if (data.topology->cell(record.cell).rat == radio::Rat::k4G) {
+      lte_dl += record.dl_volume_mb;
+    } else {
+      legacy_dl += record.dl_volume_mb;
+      ++legacy_rows;
+    }
+  }
+  EXPECT_GT(legacy_rows, 0u);
+  EXPECT_GT(legacy_dl, 0.0);
+  // 4G still dominates (Section 2.4's justification for the KPI scope).
+  EXPECT_GT(lte_dl, 3.0 * legacy_dl);
+  // Default runs contain no legacy rows.
+  auto default_config = config;
+  default_config.collect_legacy_kpis = false;
+  const Dataset default_data = run_scenario(default_config);
+  for (const auto& record : default_data.kpis.records())
+    EXPECT_EQ(default_data.topology->cell(record.cell).rat, radio::Rat::k4G);
+}
+
+TEST(SimulatorDeterminism, SameSeedSameResults) {
+  auto config = test_config();
+  config.num_users = 2'000;
+  config.collect_signaling = false;
+  const Dataset a = run_scenario(config);
+  const Dataset b = run_scenario(config);
+  EXPECT_EQ(a.homes.size(), b.homes.size());
+  EXPECT_DOUBLE_EQ(a.gyration_baseline(), b.gyration_baseline());
+  EXPECT_DOUBLE_EQ(a.entropy_baseline(), b.entropy_baseline());
+  ASSERT_EQ(a.kpis.records().size(), b.kpis.records().size());
+  for (std::size_t i = 0; i < a.kpis.records().size(); i += 997) {
+    EXPECT_DOUBLE_EQ(a.kpis.records()[i].dl_volume_mb,
+                     b.kpis.records()[i].dl_volume_mb);
+  }
+}
+
+TEST(SimulatorDeterminism, DifferentSeedsDiffer) {
+  auto config = test_config();
+  config.num_users = 2'000;
+  config.collect_signaling = false;
+  auto other = config;
+  other.seed = config.seed + 1;
+  const Dataset a = run_scenario(config);
+  const Dataset b = run_scenario(other);
+  EXPECT_NE(a.gyration_baseline(), b.gyration_baseline());
+}
+
+TEST(SimulatorOptions, KpisCanBeDisabled) {
+  auto config = test_config();
+  config.num_users = 1'500;
+  config.collect_kpis = false;
+  config.collect_signaling = false;
+  const Dataset data = run_scenario(config);
+  EXPECT_TRUE(data.kpis.empty());
+  EXPECT_TRUE(data.signaling.days().empty());
+  // Mobility still produced.
+  EXPECT_GT(data.gyration_baseline(), 0.0);
+}
+
+TEST(SimulatorOptions, InvalidConfigThrows) {
+  auto config = test_config();
+  config.num_users = 0;
+  EXPECT_THROW((void)run_scenario(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellscope::sim

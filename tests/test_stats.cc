@@ -1,0 +1,232 @@
+// Statistics kernel: the reductions every figure depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cellscope::stats {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{-1.0, 1.0}), 0.0);
+}
+
+TEST(Variance, Basics) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  // Population variance of {2, 4}: mean 3, var ((1)+(1))/2 = 1.
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{2.0, 4.0}), 1.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, RobustToOutliers) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(Quantile, Interpolation) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 15.0);  // halfway between 10 and 20
+}
+
+TEST(Quantile, ClampsOutOfRange) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> v = {50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 40.0);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  const std::vector<double> short_x = {1.0};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(constant, x), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(short_x, short_x), 0.0);
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(pearson(x, mismatched), 0.0);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  const std::vector<double> x = {1.0, 5.0, 2.0, 8.0, 3.0};
+  const std::vector<double> y = {2.0, 9.0, 4.0, 20.0, 7.0};
+  std::vector<double> y_scaled;
+  for (const double v : y) y_scaled.push_back(3.0 * v + 10.0);
+  EXPECT_NEAR(pearson(x, y), pearson(x, y_scaled), 1e-12);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(LinearFit, NoisyLineHasHighButImperfectR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2) ? 1.0 : -1.0));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const LinearFit fit = linear_fit(constant, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+  EXPECT_EQ(linear_fit({}, {}).n, 0u);
+}
+
+TEST(DeltaPercent, Basics) {
+  EXPECT_DOUBLE_EQ(delta_percent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(delta_percent(75.0, 100.0), -25.0);
+  EXPECT_DOUBLE_EQ(delta_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(delta_percent(5.0, 0.0), 0.0);  // zero-baseline convention
+}
+
+TEST(Running, MatchesBatchStatistics) {
+  const std::vector<double> values = {1.0, 4.0, -2.0, 8.0, 3.0, 3.0};
+  Running acc;
+  for (const double v : values) acc.add(v);
+  EXPECT_EQ(acc.count(), values.size());
+  EXPECT_NEAR(acc.mean(), mean(values), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 17.0);
+}
+
+TEST(Running, EmptyIsZero) {
+  Running acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Running, MergeEquivalentToSequential) {
+  const std::vector<double> all = {1.0, 2.0, 5.0, -3.0, 7.0, 0.5, 2.5};
+  Running left, right, whole;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i < 3 ? left : right).add(all[i]);
+    whole.add(all[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Running, MergeWithEmpty) {
+  Running a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(b);  // empty right side
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);  // empty left side
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Summarize, PercentileOrder) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_LE(s.p10, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p10, 10.9, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(SampleBuffer, Lifecycle) {
+  SampleBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.add(3.0);
+  buffer.add(1.0);
+  buffer.add(2.0);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_DOUBLE_EQ(buffer.median(), 2.0);
+  EXPECT_DOUBLE_EQ(buffer.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(buffer.quantile(1.0), 3.0);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_DOUBLE_EQ(buffer.median(), 0.0);
+}
+
+// Property sweep: median of any sample sits within [min, max] and the
+// quantile function is monotone in q.
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneAndBounded) {
+  const int n = GetParam();
+  std::vector<double> v;
+  std::uint64_t state = 42 + n;
+  for (int i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v.push_back(double(state >> 40));
+  }
+  double previous = quantile(v, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double value = quantile(v, q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  const double med = median(v);
+  EXPECT_GE(med, quantile(v, 0.0));
+  EXPECT_LE(med, quantile(v, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace cellscope::stats

@@ -1,0 +1,87 @@
+// Text-table rendering used by the bench output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace cellscope {
+namespace {
+
+TEST(TextTable, RejectsZeroColumns) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.row().cell("alpha").cell(1.5);
+  table.row().cell("b").cell(22.25, 2);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable table({"v"});
+  table.row().cell(3.14159, 3);
+  table.row().cell(static_cast<long long>(-7));
+  table.row().cell(static_cast<std::size_t>(12));
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+  EXPECT_NE(os.str().find("-7"), std::string::npos);
+  EXPECT_NE(os.str().find("12"), std::string::npos);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable table({"only"});
+  table.row().cell("one");
+  EXPECT_THROW(table.cell("two"), std::logic_error);
+}
+
+TEST(TextTable, CellWithoutRowStartsOne) {
+  TextTable table({"a", "b"});
+  table.cell("x").cell("y");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"week", "delta"});
+  table.row().cell(9).cell(-25.4);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "week,delta\n9,-25.4\n");
+}
+
+TEST(TextTable, ShortRowsRenderPadded) {
+  TextTable table({"a", "b", "c"});
+  table.row().cell("only-a");
+  std::ostringstream os;
+  table.print(os);  // must not crash or throw
+  EXPECT_NE(os.str().find("only-a"), std::string::npos);
+}
+
+TEST(Banner, Format) {
+  std::ostringstream os;
+  print_banner(os, "Figure 3");
+  EXPECT_EQ(os.str(), "\n== Figure 3 ==\n");
+}
+
+TEST(Claim, OkAndMismatchMarkers) {
+  std::ostringstream ok, bad;
+  print_claim(ok, "drop", "-50%", "-52%", true);
+  print_claim(bad, "drop", "-50%", "+5%", false);
+  EXPECT_NE(ok.str().find("[SHAPE-OK]"), std::string::npos);
+  EXPECT_NE(bad.str().find("[MISMATCH]"), std::string::npos);
+  EXPECT_NE(ok.str().find("paper: -50%"), std::string::npos);
+  EXPECT_NE(ok.str().find("measured: -52%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellscope

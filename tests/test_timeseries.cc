@@ -1,0 +1,134 @@
+// DailySeries and the figure-shaped reductions.
+#include <gtest/gtest.h>
+
+#include "common/timeseries.h"
+
+namespace cellscope {
+namespace {
+
+TEST(DailySeries, SetAndGet) {
+  DailySeries s{0, 9};
+  EXPECT_FALSE(s.has(3));
+  s.set(3, 5.0);
+  EXPECT_TRUE(s.has(3));
+  EXPECT_DOUBLE_EQ(s.value(3), 5.0);
+  EXPECT_EQ(s.count(3), 1u);
+}
+
+TEST(DailySeries, AddAverages) {
+  DailySeries s{0, 9};
+  s.add(2, 10.0);
+  s.add(2, 20.0);
+  s.add(2, 30.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 20.0);
+  EXPECT_EQ(s.count(2), 3u);
+}
+
+TEST(DailySeries, SetOverwritesAccumulation) {
+  DailySeries s{0, 9};
+  s.add(1, 100.0);
+  s.set(1, 7.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 7.0);
+  EXPECT_EQ(s.count(1), 1u);
+}
+
+TEST(DailySeries, OutOfRangeQueriesAreSafe) {
+  DailySeries s{5, 10};
+  EXPECT_FALSE(s.has(4));
+  EXPECT_FALSE(s.has(11));
+  EXPECT_DOUBLE_EQ(s.value(4), 0.0);
+  EXPECT_EQ(s.count(11), 0u);
+}
+
+TEST(DailySeries, InvalidRangeThrows) {
+  EXPECT_THROW((DailySeries{10, 5}), std::invalid_argument);
+}
+
+TEST(DailySeries, WeekReductions) {
+  // Week 6 of 2020 = sim days 0..6.
+  DailySeries s{0, 13};
+  for (SimDay d = 0; d < 7; ++d) s.set(d, static_cast<double>(d + 1));
+  EXPECT_DOUBLE_EQ(s.week_mean(6), 4.0);    // mean of 1..7
+  EXPECT_DOUBLE_EQ(s.week_median(6), 4.0);  // median of 1..7
+  EXPECT_TRUE(s.week_values(7).empty());
+  EXPECT_DOUBLE_EQ(s.week_mean(7), 0.0);
+}
+
+TEST(DailySeries, WeekValuesSkipMissingDays) {
+  DailySeries s{0, 6};
+  s.set(0, 2.0);
+  s.set(3, 4.0);
+  const auto values = s.week_values(6);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 2.0);
+  EXPECT_DOUBLE_EQ(values[1], 4.0);
+}
+
+TEST(DailyDelta, ComputesPercentages) {
+  DailySeries s{0, 2};
+  s.set(0, 100.0);
+  s.set(1, 150.0);
+  s.set(2, 50.0);
+  const auto delta = daily_delta_percent(s, 100.0);
+  ASSERT_EQ(delta.size(), 3u);
+  EXPECT_DOUBLE_EQ(delta[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(delta[1].value, 50.0);
+  EXPECT_DOUBLE_EQ(delta[2].value, -50.0);
+  EXPECT_EQ(delta[1].day, 1);
+}
+
+TEST(DailyDelta, SkipsDaysWithoutData) {
+  DailySeries s{0, 4};
+  s.set(1, 10.0);
+  s.set(3, 30.0);
+  const auto delta = daily_delta_percent(s, 10.0);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].day, 1);
+  EXPECT_EQ(delta[1].day, 3);
+  EXPECT_DOUBLE_EQ(delta[1].value, 200.0);
+}
+
+TEST(WeeklyDelta, MedianReduction) {
+  // Weeks 6 and 7; week 7 values are double week 6's.
+  DailySeries s{0, 13};
+  for (SimDay d = 0; d < 7; ++d) s.set(d, 10.0);
+  for (SimDay d = 7; d < 14; ++d) s.set(d, 20.0);
+  const auto weekly = weekly_median_delta_percent(s, 10.0, 6, 7);
+  ASSERT_EQ(weekly.size(), 2u);
+  EXPECT_EQ(weekly[0].week, 6);
+  EXPECT_DOUBLE_EQ(weekly[0].value, 0.0);
+  EXPECT_EQ(weekly[1].week, 7);
+  EXPECT_DOUBLE_EQ(weekly[1].value, 100.0);
+}
+
+TEST(WeeklyDelta, MedianVsMeanDifferOnSkewedWeeks) {
+  DailySeries s{0, 6};
+  // Six days at 10, one huge outlier.
+  for (SimDay d = 0; d < 6; ++d) s.set(d, 10.0);
+  s.set(6, 1000.0);
+  const auto med = weekly_median_delta_percent(s, 10.0, 6, 6);
+  const auto avg = weekly_mean_delta_percent(s, 10.0, 6, 6);
+  ASSERT_EQ(med.size(), 1u);
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_DOUBLE_EQ(med[0].value, 0.0);   // median immune to the outlier
+  EXPECT_GT(avg[0].value, 1000.0);       // mean dominated by it
+}
+
+TEST(WeeklyDelta, EmptyWeeksAreOmitted) {
+  DailySeries s{0, 20};
+  s.set(0, 5.0);  // week 6 only
+  const auto weekly = weekly_median_delta_percent(s, 5.0, 6, 8);
+  ASSERT_EQ(weekly.size(), 1u);
+  EXPECT_EQ(weekly[0].week, 6);
+}
+
+TEST(DailySeries, FirstLastWeekHelpers) {
+  DailySeries s{0, 20};
+  EXPECT_EQ(s.first_week(), 6);
+  EXPECT_EQ(s.last_week(), 8);
+  EXPECT_EQ(s.first_day(), 0);
+  EXPECT_EQ(s.last_day(), 20);
+}
+
+}  // namespace
+}  // namespace cellscope

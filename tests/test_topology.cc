@@ -1,0 +1,192 @@
+// Radio topology: deployment, cell structure, serving-cell resolution,
+// daily snapshots.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radio/topology.h"
+
+namespace cellscope::radio {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    geography_ = new geo::UkGeography(geo::UkGeography::build());
+    TopologyConfig config;
+    config.expected_subscribers = 40'000;
+    config.seed = 3;
+    topology_ = new RadioTopology(RadioTopology::build(*geography_, config));
+  }
+  static void TearDownTestSuite() {
+    delete topology_;
+    delete geography_;
+  }
+  static const geo::UkGeography& geo() { return *geography_; }
+  static const RadioTopology& topo() { return *topology_; }
+
+ private:
+  static const geo::UkGeography* geography_;
+  static const RadioTopology* topology_;
+};
+const geo::UkGeography* TopologyTest::geography_ = nullptr;
+const RadioTopology* TopologyTest::topology_ = nullptr;
+
+TEST_F(TopologyTest, EveryDistrictHasCoverage) {
+  for (const auto& district : geo().districts())
+    EXPECT_FALSE(topo().sites_in(district.id).empty()) << district.name;
+}
+
+TEST_F(TopologyTest, SiteMetadataConsistent) {
+  for (const auto& site : topo().sites()) {
+    const auto& district = geo().district(site.district);
+    EXPECT_EQ(site.county, district.county);
+    EXPECT_EQ(site.region, district.region);
+    EXPECT_EQ(site.sector_count, 3);
+    EXPECT_EQ(site.cells_by_sector.size(), 3u);
+    // Sites sit inside (or at the rim of) their district disc.
+    EXPECT_LE(distance_km(district.center, site.location),
+              district.radius_km + 0.05);
+  }
+}
+
+TEST_F(TopologyTest, EverySectorHasA4GCell) {
+  for (const auto& site : topo().sites()) {
+    for (const auto& row : site.cells_by_sector) {
+      const CellId lte = row[static_cast<int>(Rat::k4G)];
+      ASSERT_TRUE(lte.valid());
+      EXPECT_EQ(topo().cell(lte).rat, Rat::k4G);
+      EXPECT_EQ(topo().cell(lte).site, site.id);
+      // Legacy cells exist exactly when the site deploys the RAT.
+      EXPECT_EQ(row[static_cast<int>(Rat::k3G)].valid(), site.has_3g);
+      EXPECT_EQ(row[static_cast<int>(Rat::k2G)].valid(), site.has_2g);
+    }
+  }
+}
+
+TEST_F(TopologyTest, LteCellListIsExactlyThe4GCells) {
+  std::set<std::uint32_t> from_list;
+  for (const auto id : topo().lte_cells()) {
+    EXPECT_EQ(topo().cell(id).rat, Rat::k4G);
+    from_list.insert(id.value());
+  }
+  std::size_t lte_count = 0;
+  for (const auto& cell : topo().cells())
+    if (cell.rat == Rat::k4G) ++lte_count;
+  EXPECT_EQ(from_list.size(), lte_count);
+  EXPECT_EQ(from_list.size(), topo().sites().size() * 3);
+}
+
+TEST_F(TopologyTest, CellCapacitiesByRat) {
+  for (const auto& cell : topo().cells()) {
+    EXPECT_GT(cell.dl_capacity_mbps, 0.0);
+    EXPECT_GT(cell.ul_capacity_mbps, 0.0);
+    EXPECT_GT(cell.dl_capacity_mbps, cell.ul_capacity_mbps);
+    if (cell.rat == Rat::k4G) {
+      EXPECT_GE(cell.dl_capacity_mbps, 50.0);
+    }
+    if (cell.rat == Rat::k2G) {
+      EXPECT_LT(cell.dl_capacity_mbps, 1.0);
+    }
+  }
+}
+
+TEST_F(TopologyTest, NearestSiteIsActuallyNearest) {
+  const auto& district = geo().districts()[5];
+  Rng rng{9};
+  for (int i = 0; i < 50; ++i) {
+    const LatLon p = offset_km(district.center,
+                               rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    const SiteId best = topo().nearest_site(district.id, p);
+    const double best_km = distance_km(topo().site(best).location, p);
+    for (const auto id : topo().sites_in(district.id))
+      EXPECT_LE(best_km, distance_km(topo().site(id).location, p) + 1e-9);
+  }
+}
+
+TEST_F(TopologyTest, ServingCellMatchesRequestedRatOrFallsBack) {
+  const auto& district = geo().districts()[10];
+  Rng rng{10};
+  for (int i = 0; i < 50; ++i) {
+    const LatLon p = offset_km(district.center,
+                               rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    for (const Rat rat : {Rat::k2G, Rat::k3G, Rat::k4G}) {
+      const CellId id = topo().serving_cell(district.id, p, rat);
+      ASSERT_TRUE(id.valid());
+      const auto& cell = topo().cell(id);
+      const auto& site = topo().site(cell.site);
+      const bool has_rat = rat == Rat::k4G ||
+                           (rat == Rat::k3G && site.has_3g) ||
+                           (rat == Rat::k2G && site.has_2g);
+      EXPECT_EQ(cell.rat, has_rat ? rat : Rat::k4G);
+    }
+  }
+}
+
+TEST_F(TopologyTest, ServingCellIsDeterministic) {
+  const auto& district = geo().districts()[0];
+  const LatLon p = district.center;
+  const CellId a = topo().serving_cell(district.id, p, Rat::k4G);
+  const CellId b = topo().serving_cell(district.id, p, Rat::k4G);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TopologyTest, BusyDistrictsGetMoreSites) {
+  // EC (huge daytime demand) must have more sites than a comparable-size
+  // residential district.
+  const auto ec1 = geo().district_by_name("EC1");
+  ASSERT_TRUE(ec1.has_value());
+  const auto n1 = geo().district_by_name("N2");
+  ASSERT_TRUE(n1.has_value());
+  EXPECT_GE(topo().sites_in(*ec1).size(), topo().sites_in(*n1).size());
+}
+
+TEST_F(TopologyTest, SnapshotDeterministicPerDay) {
+  const auto a = topo().snapshot(10);
+  const auto b = topo().snapshot(10);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), topo().sites().size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_EQ(a[i].active, b[i].active);
+  }
+}
+
+TEST_F(TopologyTest, SnapshotOutageRateNearConfig) {
+  int down = 0, total = 0;
+  for (SimDay d = 0; d < 60; ++d) {
+    for (const auto& row : topo().snapshot(d)) {
+      ++total;
+      down += !row.active;
+    }
+  }
+  EXPECT_NEAR(double(down) / total, 0.002, 0.0015);
+}
+
+TEST(TopologyBuild, ScalesWithSubscribers) {
+  const auto geography = geo::UkGeography::build();
+  TopologyConfig small;
+  small.expected_subscribers = 10'000;
+  TopologyConfig large;
+  large.expected_subscribers = 80'000;
+  const auto topo_small = RadioTopology::build(geography, small);
+  const auto topo_large = RadioTopology::build(geography, large);
+  EXPECT_GT(topo_large.sites().size(), topo_small.sites().size());
+}
+
+TEST(TopologyBuild, RejectsNonPositiveUsersPerSite) {
+  const auto geography = geo::UkGeography::build();
+  TopologyConfig bad;
+  bad.users_per_site = 0.0;
+  EXPECT_THROW((void)RadioTopology::build(geography, bad),
+               std::invalid_argument);
+}
+
+TEST(RatNames, AllDistinct) {
+  EXPECT_EQ(rat_name(Rat::k2G), "2G");
+  EXPECT_EQ(rat_name(Rat::k3G), "3G");
+  EXPECT_EQ(rat_name(Rat::k4G), "4G");
+}
+
+}  // namespace
+}  // namespace cellscope::radio

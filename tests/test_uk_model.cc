@@ -1,0 +1,228 @@
+// Synthetic UK geography: hierarchy consistency, London structure,
+// determinism and lookup helpers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geo/uk_model.h"
+
+namespace cellscope::geo {
+namespace {
+
+class UkModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { geography_ = new UkGeography(UkGeography::build()); }
+  static void TearDownTestSuite() {
+    delete geography_;
+    geography_ = nullptr;
+  }
+  static const UkGeography& geo() { return *geography_; }
+
+ private:
+  static const UkGeography* geography_;
+};
+const UkGeography* UkModelTest::geography_ = nullptr;
+
+TEST_F(UkModelTest, FifteenCounties) {
+  EXPECT_EQ(geo().counties().size(), 15u);
+  std::set<std::string> names;
+  for (const auto& c : geo().counties()) names.insert(c.name);
+  EXPECT_TRUE(names.contains("Inner London"));
+  EXPECT_TRUE(names.contains("Outer London"));
+  EXPECT_TRUE(names.contains("Greater Manchester"));
+  EXPECT_TRUE(names.contains("West Midlands"));
+  EXPECT_TRUE(names.contains("West Yorkshire"));
+  EXPECT_TRUE(names.contains("Hampshire"));
+  EXPECT_TRUE(names.contains("East Sussex"));
+  EXPECT_TRUE(names.contains("Kent"));
+}
+
+TEST_F(UkModelTest, IdsAreDenseAndConsistent) {
+  for (std::size_t i = 0; i < geo().counties().size(); ++i)
+    EXPECT_EQ(geo().counties()[i].id.value(), i);
+  for (std::size_t i = 0; i < geo().lads().size(); ++i)
+    EXPECT_EQ(geo().lads()[i].id.value(), i);
+  for (std::size_t i = 0; i < geo().districts().size(); ++i)
+    EXPECT_EQ(geo().districts()[i].id.value(), i);
+}
+
+TEST_F(UkModelTest, HierarchyPopulationsAreExactlyConsistent) {
+  // District residents sum to their LAD; LAD populations sum to the county.
+  std::map<std::uint32_t, std::int64_t> lad_from_districts;
+  for (const auto& d : geo().districts())
+    lad_from_districts[d.lad.value()] += d.residents;
+  for (const auto& lad : geo().lads())
+    EXPECT_EQ(lad.census_population, lad_from_districts[lad.id.value()])
+        << lad.name;
+
+  std::map<std::uint32_t, std::int64_t> county_from_lads;
+  for (const auto& lad : geo().lads())
+    county_from_lads[lad.county.value()] += lad.census_population;
+  for (const auto& county : geo().counties())
+    EXPECT_EQ(county.census_population, county_from_lads[county.id.value()])
+        << county.name;
+}
+
+TEST_F(UkModelTest, CensusTotalMatchesSumOfCounties) {
+  std::int64_t total = 0;
+  for (const auto& c : geo().counties()) total += c.census_population;
+  EXPECT_EQ(geo().census_total(), total);
+  // Roughly the advertised ~29M-person subset.
+  EXPECT_GT(total, 20'000'000);
+  EXPECT_LT(total, 40'000'000);
+}
+
+TEST_F(UkModelTest, DistrictGeographyConsistent) {
+  for (const auto& d : geo().districts()) {
+    const auto& lad = geo().lad(d.lad);
+    EXPECT_EQ(lad.county, d.county) << d.name;
+    EXPECT_EQ(geo().county(d.county).region, d.region) << d.name;
+    EXPECT_GT(d.radius_km, 0.0);
+    EXPECT_GE(d.residents, 0);
+    EXPECT_GE(d.job_weight, 0.0);
+    EXPECT_GE(d.visitor_weight, 0.0);
+    // UK-ish coordinates.
+    EXPECT_GT(d.center.lat_deg, 49.0);
+    EXPECT_LT(d.center.lat_deg, 56.0);
+    EXPECT_GT(d.center.lon_deg, -6.5);
+    EXPECT_LT(d.center.lon_deg, 2.5);
+  }
+}
+
+TEST_F(UkModelTest, InnerLondonHasTheEightPostalAreas) {
+  const auto inner = geo().county_by_name("Inner London");
+  ASSERT_TRUE(inner.has_value());
+  std::set<std::string> areas;
+  for (const auto& lad : geo().lads())
+    if (lad.county == *inner) areas.insert(lad.name);
+  EXPECT_EQ(areas, (std::set<std::string>{"EC", "WC", "N", "E", "SE", "SW",
+                                          "W", "NW"}));
+}
+
+TEST_F(UkModelTest, CentralLondonContrast) {
+  // Section 5.1: ~30k residents in EC vs ~400k in SW.
+  const auto inner = geo().county_by_name("Inner London");
+  ASSERT_TRUE(inner.has_value());
+  std::int64_t ec = 0, sw = 0;
+  double ec_jobs = 0.0, sw_jobs = 0.0;
+  for (const auto& lad : geo().lads()) {
+    if (lad.county != *inner) continue;
+    if (lad.name == "EC") ec = lad.census_population;
+    if (lad.name == "SW") sw = lad.census_population;
+  }
+  for (const auto& d : geo().districts()) {
+    if (d.name.rfind("EC", 0) == 0) ec_jobs += d.job_weight;
+    if (d.name.rfind("SW", 0) == 0 && d.county == *inner)
+      sw_jobs += d.job_weight;
+  }
+  EXPECT_LT(ec, sw / 5);         // EC is tiny residentially
+  EXPECT_GT(ec_jobs, sw_jobs);   // but dominates in daytime jobs
+}
+
+TEST_F(UkModelTest, InnerLondonClusterSharesMatchPaper) {
+  // Section 4.4: ~45% Cosmopolitans, ~50% Ethnicity Central.
+  const auto inner = geo().county_by_name("Inner London");
+  ASSERT_TRUE(inner.has_value());
+  int total = 0, cosmo = 0, eth = 0, multi = 0;
+  for (const auto& d : geo().districts()) {
+    if (d.county != *inner) continue;
+    ++total;
+    cosmo += d.cluster == OacCluster::kCosmopolitans;
+    eth += d.cluster == OacCluster::kEthnicityCentral;
+    multi += d.cluster == OacCluster::kMulticulturalMetropolitans;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_EQ(cosmo + eth + multi, total);  // exactly three clusters in London
+  EXPECT_NEAR(double(cosmo) / total, 0.45, 0.10);
+  EXPECT_NEAR(double(eth) / total, 0.50, 0.10);
+  EXPECT_GE(multi, 1);
+}
+
+TEST_F(UkModelTest, EveryClusterIsRepresentedNationally) {
+  std::set<int> seen;
+  for (const auto& d : geo().districts())
+    seen.insert(static_cast<int>(d.cluster));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kOacClusterCount));
+}
+
+TEST_F(UkModelTest, GetawayCountiesExist) {
+  int getaways = 0;
+  for (const auto& c : geo().counties())
+    if (c.getaway_attraction > 0.0) ++getaways;
+  EXPECT_GE(getaways, 5);
+  // Hampshire is the strongest (the paper's main relocation destination).
+  const auto hampshire = geo().county_by_name("Hampshire");
+  ASSERT_TRUE(hampshire.has_value());
+  for (const auto& c : geo().counties())
+    EXPECT_LE(c.getaway_attraction,
+              geo().county(*hampshire).getaway_attraction);
+}
+
+TEST_F(UkModelTest, DistrictsInLookups) {
+  const auto inner = geo().county_by_name("Inner London");
+  ASSERT_TRUE(inner.has_value());
+  const auto in_county = geo().districts_in(*inner);
+  EXPECT_FALSE(in_county.empty());
+  for (const auto id : in_county)
+    EXPECT_EQ(geo().district(id).county, *inner);
+
+  const auto in_region = geo().districts_in(Region::kInnerLondon);
+  EXPECT_EQ(in_region.size(), in_county.size());
+
+  const auto& first_lad = geo().lads().front();
+  const auto in_lad = geo().districts_in(first_lad.id);
+  EXPECT_FALSE(in_lad.empty());
+  for (const auto id : in_lad)
+    EXPECT_EQ(geo().district(id).lad, first_lad.id);
+}
+
+TEST_F(UkModelTest, NameLookups) {
+  EXPECT_TRUE(geo().county_by_name("Kent").has_value());
+  EXPECT_FALSE(geo().county_by_name("Atlantis").has_value());
+  const auto ec1 = geo().district_by_name("EC1");
+  ASSERT_TRUE(ec1.has_value());
+  EXPECT_EQ(geo().district(*ec1).cluster, OacCluster::kCosmopolitans);
+}
+
+TEST_F(UkModelTest, ResidentWeightsMatchDistricts) {
+  const auto weights = geo().resident_weights();
+  ASSERT_EQ(weights.size(), geo().districts().size());
+  for (const auto& d : geo().districts())
+    EXPECT_DOUBLE_EQ(weights[d.id.value()], double(d.residents));
+}
+
+TEST_F(UkModelTest, RegionNames) {
+  EXPECT_EQ(region_name(Region::kInnerLondon), "Inner London");
+  EXPECT_EQ(region_name(Region::kRestOfUk), "Rest of UK");
+  EXPECT_EQ(geo().region_of(*geo().county_by_name("West Yorkshire")),
+            Region::kWestYorkshire);
+}
+
+TEST(UkModelBuild, DeterministicForSameSeed) {
+  const auto a = UkGeography::build({.seed = 99});
+  const auto b = UkGeography::build({.seed = 99});
+  ASSERT_EQ(a.districts().size(), b.districts().size());
+  for (std::size_t i = 0; i < a.districts().size(); ++i) {
+    EXPECT_EQ(a.districts()[i].name, b.districts()[i].name);
+    EXPECT_EQ(a.districts()[i].residents, b.districts()[i].residents);
+    EXPECT_EQ(a.districts()[i].cluster, b.districts()[i].cluster);
+  }
+}
+
+TEST(UkModelBuild, PopulationScaleShrinksCensus) {
+  const auto full = UkGeography::build({.population_scale = 1.0, .seed = 1});
+  const auto half = UkGeography::build({.population_scale = 0.5, .seed = 1});
+  EXPECT_NEAR(double(half.census_total()) / double(full.census_total()), 0.5,
+              0.05);
+}
+
+TEST(UkModelBuild, RejectsNonPositiveScale) {
+  EXPECT_THROW(UkGeography::build({.population_scale = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(UkGeography::build({.population_scale = -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellscope::geo

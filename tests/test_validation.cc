@@ -1,0 +1,73 @@
+// Fig 2 validation: inferred LAD populations vs census.
+#include <gtest/gtest.h>
+
+#include "analysis/validation.h"
+
+namespace cellscope::analysis {
+namespace {
+
+HomeRecord home_in(std::uint32_t user, const geo::UkGeography& geography,
+                   PostcodeDistrictId district) {
+  HomeRecord record;
+  record.user = UserId{user};
+  record.home_site = SiteId{0};
+  record.home_district = district;
+  record.home_county = geography.district(district).county;
+  record.nights_observed = 20;
+  return record;
+}
+
+TEST(Validation, PerfectProportionalSampleFitsExactly) {
+  const auto geography = geo::UkGeography::build();
+  // One subscriber per 1000 census residents of each district.
+  std::vector<HomeRecord> homes;
+  std::uint32_t next = 0;
+  for (const auto& district : geography.districts()) {
+    const auto count = district.residents / 1000;
+    for (std::int64_t i = 0; i < count; ++i)
+      homes.push_back(home_in(next++, geography, district.id));
+  }
+  const auto validation = validate_homes(
+      geography, homes, static_cast<std::int64_t>(homes.size()));
+  EXPECT_GT(validation.fit.r_squared, 0.999);
+  EXPECT_NEAR(validation.fit.slope, 0.001, 0.0001);
+  EXPECT_EQ(validation.points.size(), geography.lads().size());
+  // The expected market share agrees with the realized slope.
+  EXPECT_NEAR(validation.expected_market_share, validation.fit.slope, 0.0002);
+}
+
+TEST(Validation, CountsLandInTheRightLads) {
+  const auto geography = geo::UkGeography::build();
+  const auto& district = geography.districts().front();
+  std::vector<HomeRecord> homes;
+  for (std::uint32_t i = 0; i < 5; ++i)
+    homes.push_back(home_in(i, geography, district.id));
+  const auto validation = validate_homes(geography, homes, 5);
+  for (const auto& point : validation.points) {
+    if (point.lad == district.lad)
+      EXPECT_EQ(point.inferred_residents, 5);
+    else
+      EXPECT_EQ(point.inferred_residents, 0);
+  }
+}
+
+TEST(Validation, EmptyHomesGiveZeroFit) {
+  const auto geography = geo::UkGeography::build();
+  const auto validation = validate_homes(geography, {}, 0);
+  EXPECT_EQ(validation.points.size(), geography.lads().size());
+  EXPECT_DOUBLE_EQ(validation.fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(validation.expected_market_share, 0.0);
+}
+
+TEST(Validation, BiasedSampleDegradesR2) {
+  const auto geography = geo::UkGeography::build();
+  // All subscribers in a single district: the fit cannot be linear in census.
+  std::vector<HomeRecord> homes;
+  for (std::uint32_t i = 0; i < 500; ++i)
+    homes.push_back(home_in(i, geography, geography.districts()[0].id));
+  const auto validation = validate_homes(geography, homes, 500);
+  EXPECT_LT(validation.fit.r_squared, 0.5);
+}
+
+}  // namespace
+}  // namespace cellscope::analysis

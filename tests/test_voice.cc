@@ -1,0 +1,125 @@
+// Conversational voice model.
+#include <gtest/gtest.h>
+
+#include "traffic/voice.h"
+
+namespace cellscope::traffic {
+namespace {
+
+population::Subscriber adult() {
+  population::Subscriber user;
+  user.native = true;
+  user.smartphone = true;
+  user.archetype = population::Archetype::kOfficeWorker;
+  return user;
+}
+
+double mean_minutes(const VoiceModel& model,
+                    const population::Subscriber& user, SimDay day,
+                    int hour, int n = 20000) {
+  Rng rng{11};
+  double total = 0.0;
+  for (int i = 0; i < n; ++i)
+    total += model.sample_hour(user, day, hour, rng).minutes;
+  return total / n;
+}
+
+TEST(Voice, M2mNeverCalls) {
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  population::Subscriber meter;
+  meter.smartphone = false;
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(model.sample_hour(meter, 10, 10, rng).minutes, 0.0);
+}
+
+TEST(Voice, BaselineDailyMinutesMatchParameter) {
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  const auto user = adult();
+  // Sum the hourly means across a baseline day: should recover
+  // daily_minutes within sampling tolerance.
+  double daily = 0.0;
+  for (int h = 0; h < 24; ++h)
+    daily += mean_minutes(model, user, 10, h, 4000);
+  EXPECT_NEAR(daily, model.params().daily_minutes, 1.5);
+}
+
+TEST(Voice, PolicyMultiplierLiftsMinutes) {
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  const auto user = adult();
+  const double baseline = mean_minutes(model, user, week_start_day(9), 10);
+  const double spike = mean_minutes(model, user, week_start_day(12), 10);
+  EXPECT_NEAR(spike / baseline,
+              policy.voice_demand_multiplier(week_start_day(12)), 0.25);
+}
+
+TEST(Voice, DiurnalShape) {
+  EXPECT_GT(VoiceModel::diurnal_weight(10), VoiceModel::diurnal_weight(3));
+  EXPECT_GT(VoiceModel::diurnal_weight(18), 1.0);
+  EXPECT_LT(VoiceModel::diurnal_weight(2), 0.1);
+  double total = 0.0;
+  for (int h = 0; h < 24; ++h) total += VoiceModel::diurnal_weight(h);
+  EXPECT_NEAR(total / 24.0, 1.0, 0.05);
+}
+
+TEST(Voice, RetireesCallMoreThanStudents) {
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  auto retiree = adult();
+  retiree.archetype = population::Archetype::kRetiree;
+  auto student = adult();
+  student.archetype = population::Archetype::kStudent;
+  EXPECT_GT(mean_minutes(model, retiree, 10, 10),
+            mean_minutes(model, student, 10, 10) * 1.5);
+}
+
+TEST(Voice, VolumesAreSymmetricAndProportionalToMinutes) {
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  const auto user = adult();
+  Rng rng{2};
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = model.sample_hour(user, 40, 11, rng);
+    if (v.minutes <= 0.0) {
+      EXPECT_DOUBLE_EQ(v.dl_mb, 0.0);
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(v.dl_mb, v.ul_mb);
+    EXPECT_NEAR(v.dl_mb, v.minutes * model.params().mb_per_minute, 1e-9);
+    EXPECT_NEAR(v.in_call_seconds, v.minutes * 60.0, 1e-9);
+    EXPECT_DOUBLE_EQ(v.offnet_fraction, model.params().offnet_fraction);
+  }
+}
+
+TEST(Voice, MinutesAreCappedAtTheHour) {
+  mobility::PolicyTimeline policy;
+  VoiceParams params;
+  params.daily_minutes = 5'000.0;  // absurd appetite
+  VoiceModel model{policy, params};
+  const auto user = adult();
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i)
+    EXPECT_LE(model.sample_hour(user, 50, 11, rng).minutes, 60.0);
+}
+
+TEST(Voice, CallArrivalsAreBursty) {
+  // Many hours have zero minutes; a few have long conversations.
+  mobility::PolicyTimeline policy;
+  VoiceModel model{policy};
+  const auto user = adult();
+  Rng rng{4};
+  int zero_hours = 0, long_hours = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = model.sample_hour(user, 10, 11, rng);
+    zero_hours += v.minutes == 0.0;
+    long_hours += v.minutes > 5.0;
+  }
+  EXPECT_GT(zero_hours, 2500);
+  EXPECT_GT(long_hours, 10);
+}
+
+}  // namespace
+}  // namespace cellscope::traffic
