@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_legacy_rats.dir/bench_ext_legacy_rats.cpp.o"
+  "CMakeFiles/bench_ext_legacy_rats.dir/bench_ext_legacy_rats.cpp.o.d"
+  "bench_ext_legacy_rats"
+  "bench_ext_legacy_rats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_legacy_rats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

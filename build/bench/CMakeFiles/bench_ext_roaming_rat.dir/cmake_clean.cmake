@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_roaming_rat.dir/bench_ext_roaming_rat.cpp.o"
+  "CMakeFiles/bench_ext_roaming_rat.dir/bench_ext_roaming_rat.cpp.o.d"
+  "bench_ext_roaming_rat"
+  "bench_ext_roaming_rat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_roaming_rat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_roaming_rat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_seed_stability.dir/bench_ext_seed_stability.cpp.o"
+  "CMakeFiles/bench_ext_seed_stability.dir/bench_ext_seed_stability.cpp.o.d"
+  "bench_ext_seed_stability"
+  "bench_ext_seed_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_seed_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

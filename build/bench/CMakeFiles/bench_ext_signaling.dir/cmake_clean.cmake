@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_signaling.dir/bench_ext_signaling.cpp.o"
+  "CMakeFiles/bench_ext_signaling.dir/bench_ext_signaling.cpp.o.d"
+  "bench_ext_signaling"
+  "bench_ext_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

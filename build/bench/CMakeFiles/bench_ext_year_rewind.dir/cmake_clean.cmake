@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_year_rewind.dir/bench_ext_year_rewind.cpp.o"
+  "CMakeFiles/bench_ext_year_rewind.dir/bench_ext_year_rewind.cpp.o.d"
+  "bench_ext_year_rewind"
+  "bench_ext_year_rewind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_year_rewind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

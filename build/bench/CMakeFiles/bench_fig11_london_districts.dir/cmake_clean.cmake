@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_london_districts.dir/bench_fig11_london_districts.cpp.o"
+  "CMakeFiles/bench_fig11_london_districts.dir/bench_fig11_london_districts.cpp.o.d"
+  "bench_fig11_london_districts"
+  "bench_fig11_london_districts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_london_districts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

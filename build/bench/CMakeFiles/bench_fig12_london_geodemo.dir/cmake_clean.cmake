@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_london_geodemo.dir/bench_fig12_london_geodemo.cpp.o"
+  "CMakeFiles/bench_fig12_london_geodemo.dir/bench_fig12_london_geodemo.cpp.o.d"
+  "bench_fig12_london_geodemo"
+  "bench_fig12_london_geodemo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_london_geodemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_feeds.dir/export_feeds.cpp.o"
+  "CMakeFiles/export_feeds.dir/export_feeds.cpp.o.d"
+  "export_feeds"
+  "export_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_study.dir/lockdown_study.cpp.o"
+  "CMakeFiles/lockdown_study.dir/lockdown_study.cpp.o.d"
+  "lockdown_study"
+  "lockdown_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_dashboard.dir/network_dashboard.cpp.o"
+  "CMakeFiles/network_dashboard.dir/network_dashboard.cpp.o.d"
+  "network_dashboard"
+  "network_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_counterfactuals.dir/policy_counterfactuals.cpp.o"
+  "CMakeFiles/policy_counterfactuals.dir/policy_counterfactuals.cpp.o.d"
+  "policy_counterfactuals"
+  "policy_counterfactuals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_counterfactuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

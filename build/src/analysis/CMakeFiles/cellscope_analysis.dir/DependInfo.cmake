@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregation.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/aggregation.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/aggregation.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/correlation.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/correlation.cc.o.d"
+  "/root/repo/src/analysis/distribution.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/distribution.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/distribution.cc.o.d"
+  "/root/repo/src/analysis/export.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/export.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/export.cc.o.d"
+  "/root/repo/src/analysis/home_detection.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/home_detection.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/home_detection.cc.o.d"
+  "/root/repo/src/analysis/import.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/import.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/import.cc.o.d"
+  "/root/repo/src/analysis/mobility_matrix.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/mobility_matrix.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/mobility_matrix.cc.o.d"
+  "/root/repo/src/analysis/mobility_metrics.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/mobility_metrics.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/mobility_metrics.cc.o.d"
+  "/root/repo/src/analysis/network_metrics.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/network_metrics.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/network_metrics.cc.o.d"
+  "/root/repo/src/analysis/signaling_series.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/signaling_series.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/signaling_series.cc.o.d"
+  "/root/repo/src/analysis/validation.cc" "src/analysis/CMakeFiles/cellscope_analysis.dir/validation.cc.o" "gcc" "src/analysis/CMakeFiles/cellscope_analysis.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cellscope_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/cellscope_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cellscope_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellscope_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/cellscope_population.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

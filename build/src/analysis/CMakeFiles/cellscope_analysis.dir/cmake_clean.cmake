@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_analysis.dir/aggregation.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/aggregation.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/correlation.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/distribution.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/distribution.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/export.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/export.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/home_detection.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/home_detection.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/import.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/import.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/mobility_matrix.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/mobility_matrix.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/mobility_metrics.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/mobility_metrics.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/network_metrics.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/network_metrics.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/signaling_series.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/signaling_series.cc.o.d"
+  "CMakeFiles/cellscope_analysis.dir/validation.cc.o"
+  "CMakeFiles/cellscope_analysis.dir/validation.cc.o.d"
+  "libcellscope_analysis.a"
+  "libcellscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

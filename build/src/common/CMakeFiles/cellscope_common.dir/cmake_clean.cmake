@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_common.dir/geodesy.cc.o"
+  "CMakeFiles/cellscope_common.dir/geodesy.cc.o.d"
+  "CMakeFiles/cellscope_common.dir/rng.cc.o"
+  "CMakeFiles/cellscope_common.dir/rng.cc.o.d"
+  "CMakeFiles/cellscope_common.dir/simtime.cc.o"
+  "CMakeFiles/cellscope_common.dir/simtime.cc.o.d"
+  "CMakeFiles/cellscope_common.dir/stats.cc.o"
+  "CMakeFiles/cellscope_common.dir/stats.cc.o.d"
+  "CMakeFiles/cellscope_common.dir/table.cc.o"
+  "CMakeFiles/cellscope_common.dir/table.cc.o.d"
+  "CMakeFiles/cellscope_common.dir/timeseries.cc.o"
+  "CMakeFiles/cellscope_common.dir/timeseries.cc.o.d"
+  "libcellscope_common.a"
+  "libcellscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellscope_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/census.cc" "src/geo/CMakeFiles/cellscope_geo.dir/census.cc.o" "gcc" "src/geo/CMakeFiles/cellscope_geo.dir/census.cc.o.d"
+  "/root/repo/src/geo/oac.cc" "src/geo/CMakeFiles/cellscope_geo.dir/oac.cc.o" "gcc" "src/geo/CMakeFiles/cellscope_geo.dir/oac.cc.o.d"
+  "/root/repo/src/geo/uk_model.cc" "src/geo/CMakeFiles/cellscope_geo.dir/uk_model.cc.o" "gcc" "src/geo/CMakeFiles/cellscope_geo.dir/uk_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

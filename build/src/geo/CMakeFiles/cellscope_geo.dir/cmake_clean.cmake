@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_geo.dir/census.cc.o"
+  "CMakeFiles/cellscope_geo.dir/census.cc.o.d"
+  "CMakeFiles/cellscope_geo.dir/oac.cc.o"
+  "CMakeFiles/cellscope_geo.dir/oac.cc.o.d"
+  "CMakeFiles/cellscope_geo.dir/uk_model.cc.o"
+  "CMakeFiles/cellscope_geo.dir/uk_model.cc.o.d"
+  "libcellscope_geo.a"
+  "libcellscope_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/place.cc" "src/mobility/CMakeFiles/cellscope_mobility.dir/place.cc.o" "gcc" "src/mobility/CMakeFiles/cellscope_mobility.dir/place.cc.o.d"
+  "/root/repo/src/mobility/policy.cc" "src/mobility/CMakeFiles/cellscope_mobility.dir/policy.cc.o" "gcc" "src/mobility/CMakeFiles/cellscope_mobility.dir/policy.cc.o.d"
+  "/root/repo/src/mobility/relocation.cc" "src/mobility/CMakeFiles/cellscope_mobility.dir/relocation.cc.o" "gcc" "src/mobility/CMakeFiles/cellscope_mobility.dir/relocation.cc.o.d"
+  "/root/repo/src/mobility/trajectory.cc" "src/mobility/CMakeFiles/cellscope_mobility.dir/trajectory.cc.o" "gcc" "src/mobility/CMakeFiles/cellscope_mobility.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/cellscope_population.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_mobility.dir/place.cc.o"
+  "CMakeFiles/cellscope_mobility.dir/place.cc.o.d"
+  "CMakeFiles/cellscope_mobility.dir/policy.cc.o"
+  "CMakeFiles/cellscope_mobility.dir/policy.cc.o.d"
+  "CMakeFiles/cellscope_mobility.dir/relocation.cc.o"
+  "CMakeFiles/cellscope_mobility.dir/relocation.cc.o.d"
+  "CMakeFiles/cellscope_mobility.dir/trajectory.cc.o"
+  "CMakeFiles/cellscope_mobility.dir/trajectory.cc.o.d"
+  "libcellscope_mobility.a"
+  "libcellscope_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/population/device.cc" "src/population/CMakeFiles/cellscope_population.dir/device.cc.o" "gcc" "src/population/CMakeFiles/cellscope_population.dir/device.cc.o.d"
+  "/root/repo/src/population/generator.cc" "src/population/CMakeFiles/cellscope_population.dir/generator.cc.o" "gcc" "src/population/CMakeFiles/cellscope_population.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_population.dir/device.cc.o"
+  "CMakeFiles/cellscope_population.dir/device.cc.o.d"
+  "CMakeFiles/cellscope_population.dir/generator.cc.o"
+  "CMakeFiles/cellscope_population.dir/generator.cc.o.d"
+  "libcellscope_population.a"
+  "libcellscope_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

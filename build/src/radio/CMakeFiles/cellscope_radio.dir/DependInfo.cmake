@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/scheduler.cc" "src/radio/CMakeFiles/cellscope_radio.dir/scheduler.cc.o" "gcc" "src/radio/CMakeFiles/cellscope_radio.dir/scheduler.cc.o.d"
+  "/root/repo/src/radio/topology.cc" "src/radio/CMakeFiles/cellscope_radio.dir/topology.cc.o" "gcc" "src/radio/CMakeFiles/cellscope_radio.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

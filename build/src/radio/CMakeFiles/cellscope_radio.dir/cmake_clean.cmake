@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_radio.dir/scheduler.cc.o"
+  "CMakeFiles/cellscope_radio.dir/scheduler.cc.o.d"
+  "CMakeFiles/cellscope_radio.dir/topology.cc.o"
+  "CMakeFiles/cellscope_radio.dir/topology.cc.o.d"
+  "libcellscope_radio.a"
+  "libcellscope_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_sim.dir/scenario.cc.o"
+  "CMakeFiles/cellscope_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/cellscope_sim.dir/simulator.cc.o"
+  "CMakeFiles/cellscope_sim.dir/simulator.cc.o.d"
+  "libcellscope_sim.a"
+  "libcellscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/kpi.cc" "src/telemetry/CMakeFiles/cellscope_telemetry.dir/kpi.cc.o" "gcc" "src/telemetry/CMakeFiles/cellscope_telemetry.dir/kpi.cc.o.d"
+  "/root/repo/src/telemetry/probes.cc" "src/telemetry/CMakeFiles/cellscope_telemetry.dir/probes.cc.o" "gcc" "src/telemetry/CMakeFiles/cellscope_telemetry.dir/probes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellscope_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cellscope_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/cellscope_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/cellscope_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

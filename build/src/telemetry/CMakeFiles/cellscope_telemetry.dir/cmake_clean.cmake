@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_telemetry.dir/kpi.cc.o"
+  "CMakeFiles/cellscope_telemetry.dir/kpi.cc.o.d"
+  "CMakeFiles/cellscope_telemetry.dir/probes.cc.o"
+  "CMakeFiles/cellscope_telemetry.dir/probes.cc.o.d"
+  "libcellscope_telemetry.a"
+  "libcellscope_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/apps.cc" "src/traffic/CMakeFiles/cellscope_traffic.dir/apps.cc.o" "gcc" "src/traffic/CMakeFiles/cellscope_traffic.dir/apps.cc.o.d"
+  "/root/repo/src/traffic/core_network.cc" "src/traffic/CMakeFiles/cellscope_traffic.dir/core_network.cc.o" "gcc" "src/traffic/CMakeFiles/cellscope_traffic.dir/core_network.cc.o.d"
+  "/root/repo/src/traffic/demand.cc" "src/traffic/CMakeFiles/cellscope_traffic.dir/demand.cc.o" "gcc" "src/traffic/CMakeFiles/cellscope_traffic.dir/demand.cc.o.d"
+  "/root/repo/src/traffic/interconnect.cc" "src/traffic/CMakeFiles/cellscope_traffic.dir/interconnect.cc.o" "gcc" "src/traffic/CMakeFiles/cellscope_traffic.dir/interconnect.cc.o.d"
+  "/root/repo/src/traffic/voice.cc" "src/traffic/CMakeFiles/cellscope_traffic.dir/voice.cc.o" "gcc" "src/traffic/CMakeFiles/cellscope_traffic.dir/voice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/cellscope_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/cellscope_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellscope_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellscope_traffic.dir/apps.cc.o"
+  "CMakeFiles/cellscope_traffic.dir/apps.cc.o.d"
+  "CMakeFiles/cellscope_traffic.dir/core_network.cc.o"
+  "CMakeFiles/cellscope_traffic.dir/core_network.cc.o.d"
+  "CMakeFiles/cellscope_traffic.dir/demand.cc.o"
+  "CMakeFiles/cellscope_traffic.dir/demand.cc.o.d"
+  "CMakeFiles/cellscope_traffic.dir/interconnect.cc.o"
+  "CMakeFiles/cellscope_traffic.dir/interconnect.cc.o.d"
+  "CMakeFiles/cellscope_traffic.dir/voice.cc.o"
+  "CMakeFiles/cellscope_traffic.dir/voice.cc.o.d"
+  "libcellscope_traffic.a"
+  "libcellscope_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellscope_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

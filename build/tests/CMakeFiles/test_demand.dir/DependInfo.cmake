@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_demand.cc" "tests/CMakeFiles/test_demand.dir/test_demand.cc.o" "gcc" "tests/CMakeFiles/test_demand.dir/test_demand.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cellscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cellscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cellscope_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/cellscope_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/cellscope_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/population/CMakeFiles/cellscope_population.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellscope_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cellscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cellscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_home_detection.dir/test_home_detection.cc.o"
+  "CMakeFiles/test_home_detection.dir/test_home_detection.cc.o.d"
+  "test_home_detection"
+  "test_home_detection.pdb"
+  "test_home_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_home_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kpi.dir/test_kpi.cc.o"
+  "CMakeFiles/test_kpi.dir/test_kpi.cc.o.d"
+  "test_kpi"
+  "test_kpi.pdb"
+  "test_kpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_metrics.dir/test_network_metrics.cc.o"
+  "CMakeFiles/test_network_metrics.dir/test_network_metrics.cc.o.d"
+  "test_network_metrics"
+  "test_network_metrics.pdb"
+  "test_network_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

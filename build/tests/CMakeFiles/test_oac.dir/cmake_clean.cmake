@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oac.dir/test_oac.cc.o"
+  "CMakeFiles/test_oac.dir/test_oac.cc.o.d"
+  "test_oac"
+  "test_oac.pdb"
+  "test_oac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

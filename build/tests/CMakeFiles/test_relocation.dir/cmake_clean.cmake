@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relocation.dir/test_relocation.cc.o"
+  "CMakeFiles/test_relocation.dir/test_relocation.cc.o.d"
+  "test_relocation"
+  "test_relocation.pdb"
+  "test_relocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

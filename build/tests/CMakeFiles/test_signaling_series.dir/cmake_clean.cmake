@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signaling_series.dir/test_signaling_series.cc.o"
+  "CMakeFiles/test_signaling_series.dir/test_signaling_series.cc.o.d"
+  "test_signaling_series"
+  "test_signaling_series.pdb"
+  "test_signaling_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signaling_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_integration.dir/test_simulator_integration.cc.o"
+  "CMakeFiles/test_simulator_integration.dir/test_simulator_integration.cc.o.d"
+  "test_simulator_integration"
+  "test_simulator_integration.pdb"
+  "test_simulator_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voice.dir/test_voice.cc.o"
+  "CMakeFiles/test_voice.dir/test_voice.cc.o.d"
+  "test_voice"
+  "test_voice.pdb"
+  "test_voice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
