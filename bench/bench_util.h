@@ -7,10 +7,13 @@
 //   CELLSCOPE_BENCH_USERS    subscriber count (default: scenario default)
 //   CELLSCOPE_BENCH_SEED     scenario seed    (default 42)
 //   CELLSCOPE_BENCH_THREADS  simulator worker threads (default 1 = serial)
+//   CELLSCOPE_BENCH_FAULTS   fault-injection spec, e.g. "loss=0.05,dup=0.01"
+//                            (see sim::parse_fault_spec; default: no faults)
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,14 @@ inline sim::ScenarioConfig figure_scenario(bool with_kpis) {
     config.seed = std::strtoull(seed, nullptr, 10);
   if (const char* threads = std::getenv("CELLSCOPE_BENCH_THREADS"))
     config.worker_threads = std::atoi(threads);
+  if (const char* faults = std::getenv("CELLSCOPE_BENCH_FAULTS")) {
+    try {
+      config.faults = sim::parse_fault_spec(faults);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "CELLSCOPE_BENCH_FAULTS: " << error.what() << "\n";
+      std::exit(2);
+    }
+  }
   config.collect_kpis = with_kpis;
   config.collect_signaling = with_kpis;
   return config;
@@ -43,6 +54,15 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
                     ? ", " + std::to_string(config.worker_threads) + " threads"
                     : std::string{})
             << ")\n";
+  // Fault banner only on faulted runs so clean bench output is unchanged.
+  if (config.faults.any())
+    std::cout << "(degraded feeds: obs_loss=" << config.faults.observation_loss_rate
+              << " kpi_loss=" << config.faults.kpi_record_loss_rate
+              << " dup=" << config.faults.kpi_record_duplication_rate
+              << " sig_outages/wk=" << config.faults.signaling_outages_per_week
+              << " kpi_outages/wk=" << config.faults.kpi_outages_per_week
+              << " cell_daily=" << config.faults.cell_outage_daily_prob
+              << ")\n";
   return sim::run_scenario(config);
 }
 

@@ -1,5 +1,8 @@
 #include "analysis/aggregation.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace cellscope::analysis {
 
 GroupedDailySeries::GroupedDailySeries(std::size_t group_count,
@@ -13,22 +16,42 @@ void GroupedDailySeries::add(std::size_t group, SimDay day, double value) {
   series_.at(group).add(day, value);
 }
 
+std::size_t GroupedDailySeries::day_samples(std::size_t group,
+                                            SimDay day) const {
+  return series_.at(group).count(day);
+}
+
 std::vector<DayPoint> GroupedDailySeries::daily_delta(std::size_t group,
                                                       double baseline) const {
   return daily_delta_percent(series_.at(group), baseline);
 }
 
-std::vector<WeekPoint> GroupedDailySeries::weekly_delta(std::size_t group,
-                                                        double baseline,
-                                                        int from_week,
-                                                        int to_week) const {
+std::vector<WeekPoint> GroupedDailySeries::weekly_delta(
+    std::size_t group, double baseline, int from_week, int to_week,
+    int min_samples) const {
   return weekly_median_delta_percent(series_.at(group), baseline, from_week,
-                                     to_week);
+                                     to_week, min_samples);
 }
 
 double GroupedDailySeries::week_baseline(std::size_t group,
                                          int iso_week) const {
   return series_.at(group).week_mean(iso_week);
+}
+
+double GroupedDailySeries::week_baseline(std::size_t group, int iso_week,
+                                         int min_days) const {
+  const int covered = week_coverage(group, iso_week);
+  if (covered < min_days)
+    throw std::runtime_error(
+        "GroupedDailySeries::week_baseline: baseline week " +
+        std::to_string(iso_week) + " has " + std::to_string(covered) +
+        " covered day(s), fewer than the required " +
+        std::to_string(min_days));
+  return series_.at(group).week_mean(iso_week);
+}
+
+int GroupedDailySeries::week_coverage(std::size_t group, int iso_week) const {
+  return series_.at(group).week_covered_days(iso_week);
 }
 
 }  // namespace cellscope::analysis

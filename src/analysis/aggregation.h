@@ -31,18 +31,35 @@ class GroupedDailySeries {
     return series_.at(index);
   }
 
-  // Average-per-day % change vs `baseline` (Fig 3 / Fig 7 shape).
+  // Samples recorded for a group's day (0 = the day is a gap, not a zero).
+  [[nodiscard]] std::size_t day_samples(std::size_t group, SimDay day) const;
+
+  // Average-per-day % change vs `baseline` (Fig 3 / Fig 7 shape). Days
+  // without data are skipped, never zero-filled.
   [[nodiscard]] std::vector<DayPoint> daily_delta(std::size_t group,
                                                   double baseline) const;
-  // Weekly-median % change vs `baseline` (Figs 5, 6, 8..12 shape).
+  // Weekly-median % change vs `baseline` (Figs 5, 6, 8..12 shape). Weeks
+  // with fewer than `min_samples` covered days are omitted.
   [[nodiscard]] std::vector<WeekPoint> weekly_delta(std::size_t group,
                                                     double baseline,
                                                     int from_week,
-                                                    int to_week) const;
+                                                    int to_week,
+                                                    int min_samples = 1) const;
 
   // Mean of the group's daily averages over an ISO week — the reference
-  // value figures baseline against (typically week 9).
+  // value figures baseline against (typically week 9). Missing days are
+  // skipped, not averaged in as zeros.
   [[nodiscard]] double week_baseline(std::size_t group, int iso_week) const;
+
+  // Coverage-checked baseline: throws std::runtime_error when the baseline
+  // week has fewer than `min_days` covered days — a baseline computed over
+  // a mostly-dark reference week silently corrupts every delta derived
+  // from it, so the caller must opt in to anything below full coverage.
+  [[nodiscard]] double week_baseline(std::size_t group, int iso_week,
+                                     int min_days) const;
+
+  // Covered days (0..7) of a group's ISO week.
+  [[nodiscard]] int week_coverage(std::size_t group, int iso_week) const;
 
  private:
   std::vector<DailySeries> series_;

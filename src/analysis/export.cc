@@ -66,4 +66,19 @@ void export_signaling_csv(std::ostream& os, const telemetry::SignalingProbe& pro
   }
 }
 
+void export_quality_csv(std::ostream& os,
+                        const telemetry::FeedQualityReport& report) {
+  os << "feed,day,date,expected,observed,coverage,quarantined,duplicates\n";
+  for (const auto& feed : report.feeds()) {
+    for (const auto& [day, counts] : feed.days) {
+      os << feed.name << ',' << day << ',' << format_date(day) << ','
+         << counts.expected << ',' << counts.observed << ','
+         << feed.coverage(day) << ",0,0\n";
+    }
+    os << feed.name << ",-1,total," << feed.expected_records << ','
+       << feed.observed_records << ',' << feed.completeness() << ','
+       << feed.quarantined_records << ',' << feed.duplicate_records << '\n';
+  }
+}
+
 }  // namespace cellscope::analysis

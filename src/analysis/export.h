@@ -14,6 +14,7 @@
 #include "radio/topology.h"
 #include "telemetry/kpi.h"
 #include "telemetry/probes.h"
+#include "telemetry/quality.h"
 
 namespace cellscope::analysis {
 
@@ -39,5 +40,13 @@ void export_mobility_matrix_csv(std::ostream& os,
 // Daily signaling counters:
 //   day,date,event,total,failures
 void export_signaling_csv(std::ostream& os, const telemetry::SignalingProbe& probe);
+
+// Data-quality accounting:
+//   feed,day,date,expected,observed,coverage,quarantined,duplicates
+// One row per tracked feed-day, then one totals row per feed (day -1,
+// date "total") carrying the feed-level quarantine/duplicate counters and
+// overall completeness in the coverage column.
+void export_quality_csv(std::ostream& os,
+                        const telemetry::FeedQualityReport& report);
 
 }  // namespace cellscope::analysis

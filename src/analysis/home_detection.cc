@@ -58,6 +58,17 @@ std::vector<HomeRecord> HomeDetector::finalize() const {
   return records;
 }
 
+HomeDetectionStats HomeDetector::stats() const {
+  HomeDetectionStats stats;
+  stats.candidates = users_.size();
+  for (const auto& [user_value, acc] : users_)
+    if (acc.nights >= static_cast<std::uint32_t>(params_.min_nights) &&
+        !acc.site_night_hours.empty())
+      ++stats.resolved;
+  stats.below_threshold = stats.candidates - stats.resolved;
+  return stats;
+}
+
 std::optional<HomeRecord> HomeDetector::home_of(UserId user) const {
   const auto it = users_.find(user.value());
   if (it == users_.end()) return std::nullopt;

@@ -37,6 +37,16 @@ struct HomeRecord {
   int nights_observed = 0;
 };
 
+// Resolution accounting: how many users entered the night-count race and
+// how many cleared the threshold. Under feed outages the candidate pool is
+// unchanged but `below_threshold` grows — the paper's ~16M/22M resolution
+// rate is the quantity to watch when nights go missing.
+struct HomeDetectionStats {
+  std::size_t candidates = 0;       // users with >= 1 observed night
+  std::size_t resolved = 0;         // users clearing min_nights
+  std::size_t below_threshold = 0;  // candidates - resolved
+};
+
 class HomeDetector {
  public:
   explicit HomeDetector(const HomeDetectionParams& params = {});
@@ -50,6 +60,9 @@ class HomeDetector {
 
   // Convenience: per-user home lookup (nullopt = undetected).
   [[nodiscard]] std::optional<HomeRecord> home_of(UserId user) const;
+
+  // Candidate/resolved counts for the current accumulator state.
+  [[nodiscard]] HomeDetectionStats stats() const;
 
   [[nodiscard]] const HomeDetectionParams& params() const { return params_; }
 

@@ -1,8 +1,10 @@
 #include "analysis/import.h"
 
+#include <algorithm>
 #include <charconv>
 #include <istream>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/network_metrics.h"
@@ -47,18 +49,51 @@ long long parse_int(std::string_view text, std::size_t line_number) {
   return value;
 }
 
-}  // namespace
+// Parses one data line into a record; throws std::runtime_error with the
+// line number on any malformed field (both modes share this; lenient mode
+// turns the throw into a quarantine entry).
+telemetry::CellDayRecord parse_record(std::string_view line,
+                                      std::size_t line_number) {
+  const auto fields = split_csv(line);
+  if (fields.size() != 15)
+    throw std::runtime_error("kpis csv: expected 15 fields, got " +
+                             std::to_string(fields.size()) + " on line " +
+                             std::to_string(line_number));
+  telemetry::CellDayRecord record;
+  record.day = static_cast<SimDay>(parse_int(fields[0], line_number));
+  record.cell =
+      CellId{static_cast<std::uint32_t>(parse_int(fields[2], line_number))};
+  // fields[1] date, [3] site, [4] district: human columns, ignored.
+  record.dl_volume_mb = parse_double(fields[5], line_number);
+  record.ul_volume_mb = parse_double(fields[6], line_number);
+  record.active_dl_users = parse_double(fields[7], line_number);
+  record.tti_utilization = parse_double(fields[8], line_number);
+  record.user_dl_throughput_mbps = parse_double(fields[9], line_number);
+  record.connected_users = parse_double(fields[10], line_number);
+  record.voice_volume_mb = parse_double(fields[11], line_number);
+  record.simultaneous_voice_users = parse_double(fields[12], line_number);
+  record.voice_dl_loss_pct = parse_double(fields[13], line_number);
+  record.voice_ul_loss_pct = parse_double(fields[14], line_number);
+  if (record.day < 0)
+    throw std::runtime_error("kpis csv: negative day on line " +
+                             std::to_string(line_number));
+  return record;
+}
 
-KpiImportResult import_kpis_csv(std::istream& is) {
-  KpiImportResult result;
-  std::string line;
-  std::size_t line_number = 0;
-
+void read_header(std::istream& is, std::string& line,
+                 std::size_t& line_number) {
   if (!std::getline(is, line))
     throw std::runtime_error("kpis csv: empty input");
   ++line_number;
   if (line.rfind("day,date,cell", 0) != 0)
     throw std::runtime_error("kpis csv: unexpected header '" + line + "'");
+}
+
+KpiImportResult import_kpis_strict(std::istream& is) {
+  KpiImportResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  read_header(is, line, line_number);
 
   std::vector<telemetry::CellDayRecord> day_buffer;
   SimDay current_day = -1;
@@ -72,27 +107,7 @@ KpiImportResult import_kpis_csv(std::istream& is) {
   while (std::getline(is, line)) {
     ++line_number;
     if (line.empty()) continue;
-    const auto fields = split_csv(line);
-    if (fields.size() != 15)
-      throw std::runtime_error("kpis csv: expected 15 fields, got " +
-                               std::to_string(fields.size()) + " on line " +
-                               std::to_string(line_number));
-    telemetry::CellDayRecord record;
-    record.day = static_cast<SimDay>(parse_int(fields[0], line_number));
-    record.cell = CellId{
-        static_cast<std::uint32_t>(parse_int(fields[2], line_number))};
-    // fields[1] date, [3] site, [4] district: human columns, ignored.
-    record.dl_volume_mb = parse_double(fields[5], line_number);
-    record.ul_volume_mb = parse_double(fields[6], line_number);
-    record.active_dl_users = parse_double(fields[7], line_number);
-    record.tti_utilization = parse_double(fields[8], line_number);
-    record.user_dl_throughput_mbps = parse_double(fields[9], line_number);
-    record.connected_users = parse_double(fields[10], line_number);
-    record.voice_volume_mb = parse_double(fields[11], line_number);
-    record.simultaneous_voice_users = parse_double(fields[12], line_number);
-    record.voice_dl_loss_pct = parse_double(fields[13], line_number);
-    record.voice_ul_loss_pct = parse_double(fields[14], line_number);
-
+    const auto record = parse_record(line, line_number);
     if (record.day != current_day) {
       if (record.day < current_day)
         throw std::runtime_error("kpis csv: days out of order on line " +
@@ -108,6 +123,85 @@ KpiImportResult import_kpis_csv(std::istream& is) {
   }
   flush();
   return result;
+}
+
+KpiImportResult import_kpis_lenient(std::istream& is,
+                                    const ImportOptions& options) {
+  constexpr std::string_view kFeed = "kpi-import";
+  KpiImportResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  read_header(is, line, line_number);
+
+  // Collect every parseable row first; tolerate disorder by sorting.
+  struct Parsed {
+    telemetry::CellDayRecord record;
+    std::size_t line = 0;
+  };
+  std::vector<Parsed> parsed;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    try {
+      parsed.push_back({parse_record(line, line_number), line_number});
+    } catch (const std::runtime_error& error) {
+      ++result.quarantined;
+      result.quality.quarantine(kFeed);
+      if (result.quarantine_log.size() < options.max_quarantine_log)
+        result.quarantine_log.push_back({line_number, error.what()});
+    }
+  }
+  // Stable sort keeps input order within a day, so "first occurrence wins"
+  // for duplicates means first in the file.
+  std::stable_sort(parsed.begin(), parsed.end(),
+                   [](const Parsed& a, const Parsed& b) {
+                     return a.record.day < b.record.day;
+                   });
+
+  std::vector<telemetry::CellDayRecord> day_buffer;
+  std::unordered_set<std::uint32_t> cells_this_day;
+  SimDay current_day = -1;
+  const auto flush = [&] {
+    if (!day_buffer.empty()) {
+      result.store.add_day(std::move(day_buffer));
+      day_buffer = {};
+    }
+    cells_this_day.clear();
+  };
+
+  for (const auto& row : parsed) {
+    const auto& record = row.record;
+    if (record.day != current_day) {
+      flush();
+      current_day = record.day;
+    }
+    result.quality.expect(kFeed, record.day);
+    if (!cells_this_day.insert(record.cell.value()).second) {
+      ++result.duplicates_dropped;
+      result.quality.duplicate(kFeed);
+      continue;
+    }
+    result.quality.observe(kFeed, record.day);
+    result.cell_count =
+        std::max(result.cell_count,
+                 static_cast<std::size_t>(record.cell.value()) + 1);
+    ++result.rows;
+    day_buffer.push_back(record);
+  }
+  flush();
+  return result;
+}
+
+}  // namespace
+
+KpiImportResult import_kpis_csv(std::istream& is) {
+  return import_kpis_strict(is);
+}
+
+KpiImportResult import_kpis_csv(std::istream& is,
+                                const ImportOptions& options) {
+  if (!options.lenient) return import_kpis_strict(is);
+  return import_kpis_lenient(is, options);
 }
 
 CellGrouping grouping_from_names(

@@ -4,8 +4,12 @@
 // grouped series) from the CSV schema the exporters write. This is what
 // makes the framework usable on *real* operator exports — any warehouse
 // dump with the same columns feeds the identical figure pipeline, no
-// simulator involved. Import is strict: malformed rows raise, because a
-// silent parse failure in a measurement pipeline is a corrupted figure.
+// simulator involved. Import is strict by default: malformed rows raise,
+// because a silent parse failure in a measurement pipeline is a corrupted
+// figure. Lenient mode instead *quarantines* malformed rows (keeping line
+// numbers and reasons), deduplicates repeated (cell, day) keys and reports
+// everything through a FeedQualityReport, so a degraded warehouse dump can
+// still feed the pipeline with its damage on the record.
 #pragma once
 
 #include <iosfwd>
@@ -14,14 +18,34 @@
 
 #include "analysis/network_metrics.h"
 #include "telemetry/kpi.h"
+#include "telemetry/quality.h"
 
 namespace cellscope::analysis {
+
+struct ImportOptions {
+  // Quarantine malformed rows instead of throwing. Out-of-order days and
+  // duplicate (cell, day) keys are also tolerated (rows are re-sorted and
+  // deduplicated, first occurrence wins).
+  bool lenient = false;
+  // Cap on per-row quarantine log entries kept (counters are exact).
+  std::size_t max_quarantine_log = 20;
+};
+
+struct QuarantinedRow {
+  std::size_t line = 0;  // 1-based line number in the input
+  std::string reason;
+};
 
 struct KpiImportResult {
   telemetry::KpiStore store;
   // Highest cell id seen + 1 (for sizing groupings built from the CSV).
   std::size_t cell_count = 0;
-  std::size_t rows = 0;
+  std::size_t rows = 0;  // rows kept in the store
+  // Lenient-mode accounting (all zero / empty under strict import).
+  std::size_t quarantined = 0;
+  std::size_t duplicates_dropped = 0;
+  std::vector<QuarantinedRow> quarantine_log;  // first max_quarantine_log
+  telemetry::FeedQualityReport quality;
 };
 
 // Parses the `export_kpis_csv` schema:
@@ -33,6 +57,16 @@ struct KpiImportResult {
 // exporter writes them). Throws std::runtime_error with the line number on
 // malformed input.
 [[nodiscard]] KpiImportResult import_kpis_csv(std::istream& is);
+
+// As above with explicit options. With `options.lenient` set, malformed
+// data rows are quarantined (counted, first `max_quarantine_log` logged
+// with line + reason), duplicate (cell, day) rows are dropped keeping the
+// first occurrence, out-of-order days are re-sorted, and the result's
+// `quality` report carries the per-day accounting under the feed name
+// "kpi-import". A bad header still throws in both modes — a wrong schema
+// is never partially salvageable.
+[[nodiscard]] KpiImportResult import_kpis_csv(std::istream& is,
+                                              const ImportOptions& options);
 
 // Builds a grouping for an imported store from a per-cell group column:
 // `group_of_cell[cell id] = group name`. Cells absent from the map are

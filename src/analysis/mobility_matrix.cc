@@ -16,6 +16,7 @@ MobilityMatrix::MobilityMatrix(const geo::UkGeography& geography,
   const auto days = static_cast<std::size_t>(last_day - first_day + 1);
   presence_.assign(geography.counties().size(),
                    std::vector<double>(days, 0.0));
+  observations_.assign(days, 0);
 }
 
 void MobilityMatrix::observe(const telemetry::UserDayObservation& observation,
@@ -23,6 +24,7 @@ void MobilityMatrix::observe(const telemetry::UserDayObservation& observation,
   if (observation.day < first_day_ || observation.day > last_day_) return;
   if (observation.stays.empty()) return;
   const auto day_index = static_cast<std::size_t>(observation.day - first_day_);
+  ++observations_[day_index];
 
   // Top-K towers by dwell (the paper checks the top-20 locations).
   std::vector<const telemetry::TowerStay*> stays;
@@ -55,6 +57,18 @@ double MobilityMatrix::home_presence(SimDay day) const {
   return presence(home_county_, day);
 }
 
+std::size_t MobilityMatrix::day_observations(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return 0;
+  return observations_[static_cast<std::size_t>(day - first_day_)];
+}
+
+int MobilityMatrix::covered_days() const {
+  int covered = 0;
+  for (const auto n : observations_)
+    if (n > 0) ++covered;
+  return covered;
+}
+
 std::vector<MobilityMatrix::Row> MobilityMatrix::rows(int baseline_week,
                                                       int top_n) const {
   const SimDay week_start = week_start_day(baseline_week);
@@ -67,7 +81,8 @@ std::vector<MobilityMatrix::Row> MobilityMatrix::rows(int baseline_week,
   const auto baseline_of = [&](std::uint32_t county) {
     std::vector<double> values;
     for (SimDay d = week_start; d < week_start + kDaysPerWeek; ++d)
-      if (d >= first_day_ && d <= last_day_)
+      if (d >= first_day_ && d <= last_day_ &&
+          observations_[static_cast<std::size_t>(d - first_day_)] > 0)
         values.push_back(
             presence_[county][static_cast<std::size_t>(d - first_day_)]);
     return stats::mean(values);
@@ -90,6 +105,10 @@ std::vector<MobilityMatrix::Row> MobilityMatrix::rows(int baseline_week,
     row.county = CountyId{county};
     row.baseline = baseline_of(county);
     for (SimDay d = first_day_; d <= last_day_; ++d) {
+      // An uncovered day (no observations at all) is a feed gap, not an
+      // exodus to -100%: omit the point instead of fabricating one.
+      if (observations_[static_cast<std::size_t>(d - first_day_)] == 0)
+        continue;
       const double value =
           presence_[county][static_cast<std::size_t>(d - first_day_)];
       row.delta_pct.push_back(

@@ -36,6 +36,13 @@ class MobilityMatrix {
   // Number of tracked residents present in `county` on `day`.
   [[nodiscard]] double presence(CountyId county, SimDay day) const;
 
+  // Observations recorded on `day` (0 = the feed delivered nothing — the
+  // day is uncovered and excluded from baselines and delta rows, because a
+  // probe-outage day of zero presence is a gap, not an exodus).
+  [[nodiscard]] std::size_t day_observations(SimDay day) const;
+  // Days inside the window with at least one observation.
+  [[nodiscard]] int covered_days() const;
+
   // Residents present in their home county on `day` (the Fig 7 headline row).
   [[nodiscard]] double home_presence(SimDay day) const;
 
@@ -59,6 +66,8 @@ class MobilityMatrix {
   SimDay last_day_;
   // presence_[county][day - first_day]
   std::vector<std::vector<double>> presence_;
+  // observations_[day - first_day]: feed records seen per day.
+  std::vector<std::size_t> observations_;
 };
 
 }  // namespace cellscope::analysis

@@ -1,6 +1,8 @@
 #include "analysis/network_metrics.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "common/stats.h"
 
@@ -94,8 +96,11 @@ KpiGroupSeries::KpiGroupSeries(const telemetry::KpiStore& store,
                                CellReduction reduction) {
   if (store.empty()) return;
   series_.reserve(grouping.group_count());
-  for (std::size_t g = 0; g < grouping.group_count(); ++g)
+  cell_counts_.reserve(grouping.group_count());
+  for (std::size_t g = 0; g < grouping.group_count(); ++g) {
     series_.emplace_back(store.first_day(), store.last_day());
+    cell_counts_.emplace_back(store.first_day(), store.last_day());
+  }
 
   // Records are day-major: walk day runs and reduce each group per day.
   std::vector<stats::SampleBuffer> buffers(grouping.group_count());
@@ -110,8 +115,10 @@ KpiGroupSeries::KpiGroupSeries(const telemetry::KpiStore& store,
   };
   const auto flush_day = [&](SimDay day) {
     for (std::size_t g = 0; g < buffers.size(); ++g) {
-      if (!buffers[g].empty())
+      if (!buffers[g].empty()) {
         series_[g].set(day, reduce(buffers[g]));
+        cell_counts_[g].set(day, static_cast<double>(buffers[g].size()));
+      }
       buffers[g].clear();
     }
   };
@@ -132,16 +139,35 @@ KpiGroupSeries::KpiGroupSeries(const telemetry::KpiStore& store,
   flush_day(current);
 }
 
+std::size_t KpiGroupSeries::cells_reporting(std::size_t group,
+                                            SimDay day) const {
+  const auto& counts = cell_counts_.at(group);
+  return counts.has(day) ? static_cast<std::size_t>(counts.value(day)) : 0;
+}
+
 std::vector<WeekPoint> KpiGroupSeries::weekly_delta(std::size_t group,
                                                     int baseline_week,
                                                     int from_week,
-                                                    int to_week) const {
+                                                    int to_week,
+                                                    int min_samples) const {
   return weekly_median_delta_percent(series_.at(group),
                                      baseline(group, baseline_week),
-                                     from_week, to_week);
+                                     from_week, to_week, min_samples);
 }
 
 double KpiGroupSeries::baseline(std::size_t group, int baseline_week) const {
+  return series_.at(group).week_median(baseline_week);
+}
+
+double KpiGroupSeries::baseline(std::size_t group, int baseline_week,
+                                int min_days) const {
+  const int covered = series_.at(group).week_covered_days(baseline_week);
+  if (covered < min_days)
+    throw std::runtime_error(
+        "KpiGroupSeries::baseline: baseline week " +
+        std::to_string(baseline_week) + " has " + std::to_string(covered) +
+        " covered day(s) for group " + std::to_string(group) +
+        ", fewer than the required " + std::to_string(min_days));
   return series_.at(group).week_median(baseline_week);
 }
 

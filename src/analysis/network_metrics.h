@@ -74,18 +74,31 @@ class KpiGroupSeries {
   }
   [[nodiscard]] std::size_t group_count() const { return series_.size(); }
 
+  // Cells that actually reported into the group's daily value (0 = the day
+  // is a gap for that group — its cells were all dark, not all idle).
+  [[nodiscard]] std::size_t cells_reporting(std::size_t group,
+                                            SimDay day) const;
+
   // Weekly-median delta-% vs the group's own baseline-week median daily
-  // value (the Fig 8..12 line shape).
+  // value (the Fig 8..12 line shape). Weeks with fewer than `min_samples`
+  // covered days are omitted rather than reduced over their remnants.
   [[nodiscard]] std::vector<WeekPoint> weekly_delta(std::size_t group,
                                                     int baseline_week,
                                                     int from_week,
-                                                    int to_week) const;
+                                                    int to_week,
+                                                    int min_samples = 1) const;
 
   // The group's baseline: median of its daily values over `baseline_week`.
   [[nodiscard]] double baseline(std::size_t group, int baseline_week) const;
 
+  // Coverage-checked baseline: throws std::runtime_error when the baseline
+  // week has fewer than `min_days` covered days for the group.
+  [[nodiscard]] double baseline(std::size_t group, int baseline_week,
+                                int min_days) const;
+
  private:
   std::vector<DailySeries> series_;
+  std::vector<DailySeries> cell_counts_;  // per-day cells reporting
 };
 
 }  // namespace cellscope::analysis

@@ -1,7 +1,9 @@
 #include "common/timeseries.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "common/stats.h"
 
@@ -39,9 +41,16 @@ bool DailySeries::has(SimDay day) const {
 }
 
 double DailySeries::value(SimDay day) const {
-  if (!has(day)) return 0.0;
+  if (!has(day))
+    throw std::out_of_range("DailySeries::value: no data for day " +
+                            std::to_string(day) +
+                            " (use has()/value_or() for gap-tolerant reads)");
   const auto i = index(day);
   return sums_[i] / static_cast<double>(counts_[i]);
+}
+
+double DailySeries::value_or(SimDay day, double fallback) const {
+  return has(day) ? value(day) : fallback;
 }
 
 std::size_t DailySeries::count(SimDay day) const {
@@ -65,6 +74,14 @@ double DailySeries::week_median(int iso_week_number) const {
   return stats::median(week_values(iso_week_number));
 }
 
+int DailySeries::week_covered_days(int iso_week_number) const {
+  int covered = 0;
+  const SimDay start = week_start_day(iso_week_number);
+  for (SimDay d = start; d < start + kDaysPerWeek; ++d)
+    if (has(d)) ++covered;
+  return covered;
+}
+
 std::vector<DayPoint> daily_delta_percent(const DailySeries& series,
                                           double baseline) {
   std::vector<DayPoint> out;
@@ -76,11 +93,13 @@ std::vector<DayPoint> daily_delta_percent(const DailySeries& series,
 
 std::vector<WeekPoint> weekly_median_delta_percent(const DailySeries& series,
                                                    double baseline,
-                                                   int from_week, int to_week) {
+                                                   int from_week, int to_week,
+                                                   int min_samples) {
   std::vector<WeekPoint> out;
+  const auto threshold = static_cast<std::size_t>(std::max(min_samples, 1));
   for (int w = from_week; w <= to_week; ++w) {
     const auto values = series.week_values(w);
-    if (values.empty()) continue;
+    if (values.size() < threshold) continue;
     out.push_back({w, stats::delta_percent(stats::median(values), baseline)});
   }
   return out;
@@ -88,11 +107,13 @@ std::vector<WeekPoint> weekly_median_delta_percent(const DailySeries& series,
 
 std::vector<WeekPoint> weekly_mean_delta_percent(const DailySeries& series,
                                                  double baseline,
-                                                 int from_week, int to_week) {
+                                                 int from_week, int to_week,
+                                                 int min_samples) {
   std::vector<WeekPoint> out;
+  const auto threshold = static_cast<std::size_t>(std::max(min_samples, 1));
   for (int w = from_week; w <= to_week; ++w) {
     const auto values = series.week_values(w);
-    if (values.empty()) continue;
+    if (values.size() < threshold) continue;
     out.push_back({w, stats::delta_percent(stats::mean(values), baseline)});
   }
   return out;

@@ -28,20 +28,31 @@ class DailySeries {
   void add(SimDay day, double value);
 
   [[nodiscard]] bool has(SimDay day) const;
-  // Mean of added values (or the set value); 0 if nothing recorded.
+  // Mean of added values (or the set value). A missing day is NOT zero:
+  // querying a day with no data (or outside the window) throws
+  // std::out_of_range. Callers that genuinely want zero-filling (or any
+  // other sentinel) must say so via value_or().
   [[nodiscard]] double value(SimDay day) const;
+  // value(day) if the day has data, `fallback` otherwise.
+  [[nodiscard]] double value_or(SimDay day, double fallback = 0.0) const;
   [[nodiscard]] std::size_t count(SimDay day) const;
 
   [[nodiscard]] SimDay first_day() const { return first_day_; }
   [[nodiscard]] SimDay last_day() const { return last_day_; }
   [[nodiscard]] bool empty() const { return sums_.empty(); }
 
-  // Mean / median of recorded daily values within an ISO week.
+  // Mean / median of recorded daily values within an ISO week. Missing days
+  // are skipped, not zero-filled; a week with no data at all returns 0
+  // (check week_covered_days() when that matters).
   [[nodiscard]] double week_mean(int iso_week_number) const;
   [[nodiscard]] double week_median(int iso_week_number) const;
 
   // All recorded daily values within an ISO week, in day order.
   [[nodiscard]] std::vector<double> week_values(int iso_week_number) const;
+
+  // Number of days with data within an ISO week (0..7): the per-week
+  // coverage a degraded feed leaves behind.
+  [[nodiscard]] int week_covered_days(int iso_week_number) const;
 
   [[nodiscard]] int first_week() const { return iso_week(first_day_); }
   [[nodiscard]] int last_week() const { return iso_week(last_day_); }
@@ -72,12 +83,16 @@ struct DayPoint {
     const DailySeries& series, double baseline);
 
 // Per-week % change of the weekly *median* daily value vs `baseline`
-// (the reduction used throughout Section 4's figures).
+// (the reduction used throughout Section 4's figures). Weeks with fewer
+// than `min_samples` covered days are omitted entirely — a median over one
+// or two surviving days of a mostly-dark week is noise, not signal.
 [[nodiscard]] std::vector<WeekPoint> weekly_median_delta_percent(
-    const DailySeries& series, double baseline, int from_week, int to_week);
+    const DailySeries& series, double baseline, int from_week, int to_week,
+    int min_samples = 1);
 
 // Same but reducing each week by the mean (the documented ablation).
 [[nodiscard]] std::vector<WeekPoint> weekly_mean_delta_percent(
-    const DailySeries& series, double baseline, int from_week, int to_week);
+    const DailySeries& series, double baseline, int from_week, int to_week,
+    int min_samples = 1);
 
 }  // namespace cellscope

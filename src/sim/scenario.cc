@@ -20,6 +20,7 @@ void ScenarioConfig::validate() const {
   if (worker_threads < 1 || worker_threads > 256)
     throw std::invalid_argument(
         "ScenarioConfig: worker_threads must be in [1, 256]");
+  faults.validate();
 }
 
 ScenarioConfig default_scenario() {

@@ -13,6 +13,7 @@
 #include "mobility/trajectory.h"
 #include "population/generator.h"
 #include "radio/topology.h"
+#include "sim/faults.h"
 #include "telemetry/kpi.h"
 #include "traffic/core_network.h"
 #include "traffic/demand.h"
@@ -57,6 +58,12 @@ struct ScenarioConfig {
   traffic::InterconnectParams interconnect;
   traffic::SignalingParams signaling;
   telemetry::DailyReduction kpi_reduction = telemetry::DailyReduction::kMedian;
+
+  // Measurement-plane fault injection (probe outages, dark cells, record
+  // loss/duplication). Defaults are all-zero: the feeds are perfect and the
+  // run is byte-identical to a build without fault support. Faults degrade
+  // what the probes *record*, never what the subscribers *do*.
+  FaultConfig faults;
 
   // Share of connected time 4G serves when legacy RATs are present (~75%
   // per Section 2.4).

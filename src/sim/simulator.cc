@@ -48,6 +48,36 @@ PlaceCells resolve_place(const radio::RadioTopology& topology,
   return pc;
 }
 
+// Forwards signaling events to the worker's probe except while the probe is
+// in a fault-plan outage window, counting both sides for the quality
+// report. One instance per worker; counters are reset serially each day.
+class FilteredSignalingSink final : public traffic::SignalingSink {
+ public:
+  FilteredSignalingSink(const FaultPlan& plan, traffic::SignalingSink& inner)
+      : plan_(plan), inner_(inner) {}
+
+  void on_event(const traffic::SignalingEvent& event) override {
+    const auto day = static_cast<SimDay>(event.hour / kHoursPerDay);
+    const auto hour = static_cast<int>(event.hour % kHoursPerDay);
+    if (plan_.signaling_down(day, hour)) {
+      ++dropped_;
+      return;
+    }
+    ++forwarded_;
+    inner_.on_event(event);
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void reset_counters() { forwarded_ = 0; dropped_ = 0; }
+
+ private:
+  const FaultPlan& plan_;
+  traffic::SignalingSink& inner_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
 }  // namespace
 
 Simulator::Simulator(ScenarioConfig config) : config_(std::move(config)) {}
@@ -106,6 +136,14 @@ Dataset Simulator::run() {
   const SimDay last_day = config_.last_day();
   const SimDay kpi_first_day =
       config_.collect_kpis ? config_.kpi_first_day() : last_day + 1;
+
+  // Measurement-plane fault plan: one deterministic realization of the
+  // scenario's FaultConfig. With all-zero knobs the plan is disabled and
+  // every fault branch below is skipped, keeping the clean run untouched.
+  const FaultPlan fault_plan =
+      FaultPlan::build(config_.faults, config_.seed, first_day, last_day,
+                       topology.cells().size());
+  const bool faults_on = fault_plan.enabled();
 
   // Per-user structures.
   const std::size_t n_users = subscribers.size();
@@ -200,10 +238,18 @@ Dataset Simulator::run() {
     std::vector<telemetry::UserDayObservation> detector_obs;
     std::vector<telemetry::UserDayObservation> matrix_obs;
     telemetry::SignalingProbe probe;
+    // Per-day observation-feed accounting (faulted runs only).
+    std::uint64_t obs_expected = 0;
+    std::uint64_t obs_observed = 0;
   };
   const int n_workers = config_.worker_threads;
   std::vector<Worker> workers(static_cast<std::size_t>(n_workers));
   for (auto& w : workers) w.loads.assign(n_cells * kHoursPerDay, {});
+  // Per-worker signaling sinks: events pass through the outage filter on
+  // their way into the worker's probe (a disabled plan forwards everything).
+  std::vector<FilteredSignalingSink> sinks;
+  sinks.reserve(workers.size());
+  for (auto& w : workers) sinks.emplace_back(fault_plan, w.probe);
 
   // Field-wise addition of a shard's cell-hour loads into the shared array.
   const auto merge_load = [](radio::CellHourLoad& into,
@@ -256,11 +302,17 @@ Dataset Simulator::run() {
       w.mobility.clear();
       w.detector_obs.clear();
       w.matrix_obs.clear();
+      w.obs_expected = 0;
+      w.obs_observed = 0;
     }
+    // Hour filtering only matters on days with an actual outage window.
+    const bool sig_out_today =
+        faults_on && fault_plan.signaling_down_hours(day) > 0;
 
     // --- Per-user simulation (runs inside a worker thread; writes only to
     // its Worker and to the user's own state/places). ---
     const auto process_user = [&](std::size_t i, Worker& w,
+                                  traffic::SignalingSink& sink,
                                   telemetry::UserDayObservation& observation,
                                   std::vector<traffic::CellStay>& cell_stays) {
       const population::Subscriber& user = subscribers[i];
@@ -303,16 +355,47 @@ Dataset Simulator::run() {
           tower->night_hours = 0.0f;
           tower->bin_hours.fill(0.0f);
         }
-        const float hours = static_cast<float>(stay.end_hour - stay.start_hour);
-        tower->hours += hours;
-        for (int h = stay.start_hour; h < stay.end_hour; ++h) {
-          tower->bin_hours[static_cast<std::size_t>(four_hour_bin(h))] += 1.0f;
-          if (is_nighttime(h)) tower->night_hours += 1.0f;
+        if (!sig_out_today) {
+          const float hours =
+              static_cast<float>(stay.end_hour - stay.start_hour);
+          tower->hours += hours;
+          for (int h = stay.start_hour; h < stay.end_hour; ++h) {
+            tower->bin_hours[static_cast<std::size_t>(four_hour_bin(h))] +=
+                1.0f;
+            if (is_nighttime(h)) tower->night_hours += 1.0f;
+          }
+        } else {
+          // Hours inside a signaling-probe outage never reach the feed: the
+          // stay's dwell shrinks to its visible hours (the subscriber still
+          // moved; the record just doesn't show it).
+          for (int h = stay.start_hour; h < stay.end_hour; ++h) {
+            if (fault_plan.signaling_down(day, h)) continue;
+            tower->hours += 1.0f;
+            tower->bin_hours[static_cast<std::size_t>(four_hour_bin(h))] +=
+                1.0f;
+            if (is_nighttime(h)) tower->night_hours += 1.0f;
+          }
         }
       }
+      if (sig_out_today)
+        std::erase_if(observation.stays, [](const telemetry::TowerStay& t) {
+          return t.hours <= 0.0f;
+        });
 
       const bool eligible = user.native && user.smartphone;
-      if (eligible) {
+      // Record-level fault gate: a dropped (or fully outage-eclipsed)
+      // observation is invisible to every consumer of the signaling feed —
+      // home detection, mobility metrics and the relocation matrix alike.
+      bool feed_visible = true;
+      if (faults_on && eligible) {
+        ++w.obs_expected;
+        if (observation.stays.empty() ||
+            fault_plan.drop_observation(static_cast<std::uint32_t>(i), day))
+          feed_visible = false;
+        else
+          ++w.obs_observed;
+      }
+      if (eligible && feed_visible) {
         if (collect_homes) w.detector_obs.push_back(observation);
         // Mobility metrics, grouped by residence (Section 2.3 aggregates at
         // home-postcode granularity and up). Buffered; applied in
@@ -424,20 +507,22 @@ Dataset Simulator::run() {
       }
       if (config_.collect_signaling && !cell_stays.empty()) {
         signaling_gen.generate_day(user, cell_stays, day, active_data_hours,
-                                   voice_calls, rng, w.probe);
+                                   voice_calls, rng, sink);
       }
     };
 
     const auto run_range = [&](std::size_t begin, std::size_t end,
-                               Worker& w) {
+                               std::size_t worker_index) {
+      Worker& w = workers[worker_index];
+      FilteredSignalingSink& sink = sinks[worker_index];
       telemetry::UserDayObservation observation;
       std::vector<traffic::CellStay> cell_stays;
       for (std::size_t i = begin; i < end; ++i)
-        process_user(i, w, observation, cell_stays);
+        process_user(i, w, sink, observation, cell_stays);
     };
 
     if (n_workers == 1) {
-      run_range(0, n_users, workers[0]);
+      run_range(0, n_users, 0);
     } else {
       std::vector<std::thread> threads;
       threads.reserve(static_cast<std::size_t>(n_workers));
@@ -449,7 +534,7 @@ Dataset Simulator::run() {
             n_users * static_cast<std::size_t>(t + 1) /
             static_cast<std::size_t>(n_workers);
         threads.emplace_back(run_range, begin, shard_end,
-                             std::ref(workers[static_cast<std::size_t>(t)]));
+                             static_cast<std::size_t>(t));
       }
       for (auto& thread : threads) thread.join();
     }
@@ -508,6 +593,30 @@ Dataset Simulator::run() {
     ds.gyration_distribution.seal_day(day);
     ds.entropy_distribution.seal_day(day);
 
+    // Quality accounting for the signaling-derived feeds (faulted runs
+    // only; a clean run keeps the report empty and its output untouched).
+    if (faults_on) {
+      std::uint64_t obs_expected = 0;
+      std::uint64_t obs_observed = 0;
+      for (const auto& w : workers) {
+        obs_expected += w.obs_expected;
+        obs_observed += w.obs_observed;
+      }
+      ds.quality.expect("user-observations", day, obs_expected);
+      ds.quality.observe("user-observations", day, obs_observed);
+      if (config_.collect_signaling) {
+        std::uint64_t forwarded = 0;
+        std::uint64_t dropped = 0;
+        for (auto& sink : sinks) {
+          forwarded += sink.forwarded();
+          dropped += sink.dropped();
+          sink.reset_counters();
+        }
+        ds.quality.expect("signaling-events", day, forwarded + dropped);
+        ds.quality.observe("signaling-events", day, forwarded);
+      }
+    }
+
     // --- Schedule the day's cell-hours and reduce to daily KPIs. ---
     if (kpi_day) {
       // Interconnect: dimensioned against the first KPI week's busy hour.
@@ -535,9 +644,17 @@ Dataset Simulator::run() {
           offnet_minutes.begin());
       ds.interconnect_busy_hour_loss_pct.set(day, hour_loss[busy_hour_index]);
 
+      std::uint64_t cells_scheduled = 0;
       const auto schedule_cell = [&](CellId cell_id) {
+        ++cells_scheduled;
+        // A cell in an outage run is dark for the whole day: no hourly
+        // samples reach the aggregator, so finish_day emits no row for it.
+        if (faults_on && fault_plan.cell_out(cell_id, day)) return;
         const radio::Cell& cell = topology.cell(cell_id);
         for (int h = 0; h < kHoursPerDay; ++h) {
+          // Hours inside a KPI-collection outage are lost before daily
+          // aggregation (the day reduces over its surviving hours).
+          if (faults_on && fault_plan.kpi_feed_down(day, h)) continue;
           auto& load = hour_loads[cell_id.value() * kHoursPerDay +
                                   static_cast<std::size_t>(h)];
           if (load.active_dl_user_seconds > 0.0)
@@ -552,7 +669,27 @@ Dataset Simulator::run() {
       } else {
         for (const auto cell_id : topology.lte_cells()) schedule_cell(cell_id);
       }
-      ds.kpis.add_day(kpi_aggregator.finish_day());
+      if (!faults_on) {
+        ds.kpis.add_day(kpi_aggregator.finish_day());
+      } else {
+        // Warehouse-export faults: lose or duplicate whole cell-day rows.
+        auto day_records = kpi_aggregator.finish_day();
+        std::vector<telemetry::CellDayRecord> kept;
+        kept.reserve(day_records.size());
+        std::uint64_t observed = 0;
+        for (const auto& record : day_records) {
+          if (fault_plan.drop_kpi_record(record.cell.value(), day)) continue;
+          ++observed;
+          kept.push_back(record);
+          if (fault_plan.duplicate_kpi_record(record.cell.value(), day)) {
+            ds.quality.duplicate("kpi-feed");
+            kept.push_back(record);
+          }
+        }
+        ds.quality.expect("kpi-feed", day, cells_scheduled);
+        ds.quality.observe("kpi-feed", day, observed);
+        ds.kpis.add_day(std::move(kept));
+      }
     }
   }
 

@@ -31,6 +31,7 @@
 #include "sim/scenario.h"
 #include "telemetry/kpi.h"
 #include "telemetry/probes.h"
+#include "telemetry/quality.h"
 
 namespace cellscope::sim {
 
@@ -65,6 +66,10 @@ struct Dataset {
   // Network KPIs (daily medians per 4G cell) and signaling counters.
   telemetry::KpiStore kpis;
   telemetry::SignalingProbe signaling;
+
+  // Data-quality accounting for the collected feeds. Empty when the
+  // scenario injects no faults (a perfect feed has nothing to report).
+  telemetry::FeedQualityReport quality;
 
   // Interconnect diagnostics: national off-net voice minutes offered in the
   // busiest hour of each day, and that hour's trunk loss.

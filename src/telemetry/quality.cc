@@ -1,0 +1,119 @@
+#include "telemetry/quality.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace cellscope::telemetry {
+
+double FeedQuality::completeness() const {
+  if (expected_records == 0) return 1.0;
+  return static_cast<double>(observed_records) /
+         static_cast<double>(expected_records);
+}
+
+double FeedQuality::coverage(SimDay day) const {
+  const auto it = days.find(day);
+  if (it == days.end() || it->second.expected == 0) return 1.0;
+  return static_cast<double>(it->second.observed) /
+         static_cast<double>(it->second.expected);
+}
+
+int FeedQuality::largest_gap_days(double threshold) const {
+  int largest = 0;
+  int run = 0;
+  SimDay previous = 0;
+  bool first = true;
+  for (const auto& [day, count] : days) {
+    const double cov =
+        count.expected == 0
+            ? 1.0
+            : static_cast<double>(count.observed) /
+                  static_cast<double>(count.expected);
+    // A break in the tracked-day sequence ends any running gap.
+    if (!first && day != previous + 1) run = 0;
+    first = false;
+    previous = day;
+    run = cov < threshold ? run + 1 : 0;
+    largest = std::max(largest, run);
+  }
+  return largest;
+}
+
+FeedQuality& FeedQualityReport::feed(std::string_view name) {
+  for (auto& f : feeds_)
+    if (f.name == name) return f;
+  feeds_.emplace_back();
+  feeds_.back().name = std::string(name);
+  return feeds_.back();
+}
+
+const FeedQuality* FeedQualityReport::find(std::string_view name) const {
+  for (const auto& f : feeds_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+void FeedQualityReport::expect(std::string_view feed_name, SimDay day,
+                               std::uint64_t n) {
+  auto& f = feed(feed_name);
+  f.expected_records += n;
+  f.days[day].expected += n;
+}
+
+void FeedQualityReport::observe(std::string_view feed_name, SimDay day,
+                                std::uint64_t n) {
+  auto& f = feed(feed_name);
+  f.observed_records += n;
+  f.days[day].observed += n;
+}
+
+void FeedQualityReport::quarantine(std::string_view feed_name,
+                                   std::uint64_t n) {
+  feed(feed_name).quarantined_records += n;
+}
+
+void FeedQualityReport::duplicate(std::string_view feed_name,
+                                  std::uint64_t n) {
+  feed(feed_name).duplicate_records += n;
+}
+
+void FeedQualityReport::merge(const FeedQualityReport& other) {
+  for (const auto& theirs : other.feeds_) {
+    auto& ours = feed(theirs.name);
+    ours.expected_records += theirs.expected_records;
+    ours.observed_records += theirs.observed_records;
+    ours.quarantined_records += theirs.quarantined_records;
+    ours.duplicate_records += theirs.duplicate_records;
+    for (const auto& [day, count] : theirs.days) {
+      ours.days[day].expected += count.expected;
+      ours.days[day].observed += count.observed;
+    }
+  }
+}
+
+void FeedQualityReport::print(std::ostream& os) const {
+  os << "FeedQualityReport\n";
+  if (feeds_.empty()) {
+    os << "  (no feeds tracked)\n";
+    return;
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-12s %12s %12s %11s %10s %12s %9s\n",
+                "feed", "expected", "observed", "quarantined", "duplicate",
+                "completeness", "max gap");
+  os << line;
+  for (const auto& f : feeds_) {
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %12llu %12llu %11llu %10llu %11.2f%% %7dd\n",
+                  f.name.c_str(),
+                  static_cast<unsigned long long>(f.expected_records),
+                  static_cast<unsigned long long>(f.observed_records),
+                  static_cast<unsigned long long>(f.quarantined_records),
+                  static_cast<unsigned long long>(f.duplicate_records),
+                  100.0 * f.completeness(), f.largest_gap_days());
+    os << line;
+  }
+}
+
+}  // namespace cellscope::telemetry

@@ -1,0 +1,72 @@
+// Feed data-quality accounting.
+//
+// Before trusting any trend line, a measurement study has to know how much
+// of each feed actually arrived (the paper's probes, like any passive
+// deployment, lose hours and rows). FeedQualityReport is the ledger:
+// per-feed expected-vs-observed record counts, per-day coverage fractions,
+// quarantined (corrupted) and duplicated record counters, and the largest
+// under-coverage gap. The simulator fills one in as days complete; the CSV
+// importer fills one in from a warehouse dump; benches print it next to the
+// figures so degraded runs are never mistaken for clean ones.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.h"
+
+namespace cellscope::telemetry {
+
+struct FeedQuality {
+  struct DayCount {
+    std::uint64_t expected = 0;
+    std::uint64_t observed = 0;
+  };
+
+  std::string name;
+  std::uint64_t expected_records = 0;
+  std::uint64_t observed_records = 0;   // delivered, excluding duplicates
+  std::uint64_t quarantined_records = 0;  // corrupted / unparseable, excluded
+  std::uint64_t duplicate_records = 0;    // redundant copies dropped/flagged
+  std::map<SimDay, DayCount> days;        // per-day expected/observed
+
+  // observed / expected over the whole feed; 1 when nothing was expected.
+  [[nodiscard]] double completeness() const;
+  // observed / expected for one day; 1 when the day was never expected.
+  [[nodiscard]] double coverage(SimDay day) const;
+  // Longest run of consecutive tracked days whose coverage is strictly
+  // below `threshold` (0 for a fully covered feed).
+  [[nodiscard]] int largest_gap_days(double threshold = 0.5) const;
+};
+
+class FeedQualityReport {
+ public:
+  // Fetches (creating on first use) a feed ledger; insertion order is
+  // stable, so reports print deterministically.
+  FeedQuality& feed(std::string_view name);
+  [[nodiscard]] const FeedQuality* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<FeedQuality>& feeds() const {
+    return feeds_;
+  }
+  [[nodiscard]] bool empty() const { return feeds_.empty(); }
+
+  void expect(std::string_view feed_name, SimDay day, std::uint64_t n = 1);
+  void observe(std::string_view feed_name, SimDay day, std::uint64_t n = 1);
+  void quarantine(std::string_view feed_name, std::uint64_t n = 1);
+  void duplicate(std::string_view feed_name, std::uint64_t n = 1);
+
+  // Adds another report's counters into this one (per-worker merge).
+  void merge(const FeedQualityReport& other);
+
+  // Human-readable summary table (benches print this).
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<FeedQuality> feeds_;
+};
+
+}  // namespace cellscope::telemetry

@@ -60,5 +60,47 @@ TEST(GroupedDailySeries, DefaultConstructedIsEmpty) {
   EXPECT_EQ(series.group_count(), 0u);
 }
 
+TEST(GroupedDailySeries, DaySamplesExposesPerGroupCoverage) {
+  GroupedDailySeries series{2, 0, 6};
+  series.add(0, 2, 1.0);
+  series.add(0, 2, 2.0);
+  series.add(1, 3, 5.0);
+  EXPECT_EQ(series.day_samples(0, 2), 2u);
+  EXPECT_EQ(series.day_samples(1, 2), 0u);
+  EXPECT_EQ(series.day_samples(0, 3), 0u);
+  EXPECT_EQ(series.day_samples(1, 3), 1u);
+}
+
+TEST(GroupedDailySeries, WeekCoverageCountsCoveredDays) {
+  GroupedDailySeries series{1, 0, 13};  // weeks 6-7
+  series.add(0, 0, 1.0);
+  series.add(0, 2, 1.0);
+  series.add(0, 7, 1.0);
+  EXPECT_EQ(series.week_coverage(0, 6), 2);
+  EXPECT_EQ(series.week_coverage(0, 7), 1);
+}
+
+TEST(GroupedDailySeries, CoverageCheckedBaselineThrowsOnThinWeeks) {
+  GroupedDailySeries series{1, 0, 6};  // week 6
+  series.add(0, 0, 10.0);
+  series.add(0, 1, 20.0);
+  // Two covered days: fine at min_days=2, refused at min_days=4.
+  EXPECT_DOUBLE_EQ(series.week_baseline(0, 6, 2), 15.0);
+  EXPECT_THROW((void)series.week_baseline(0, 6, 4), std::runtime_error);
+  // The unchecked overload still reduces over whatever is there.
+  EXPECT_DOUBLE_EQ(series.week_baseline(0, 6), 15.0);
+}
+
+TEST(GroupedDailySeries, WeeklyDeltaMinSamplesSkipsSparseWeeks) {
+  GroupedDailySeries series{1, 0, 13};
+  for (SimDay d = 0; d < 7; ++d) series.add(0, d, 10.0);
+  series.add(0, 7, 20.0);  // week 7: single covered day
+  const auto loose = series.weekly_delta(0, 10.0, 6, 7, 1);
+  ASSERT_EQ(loose.size(), 2u);
+  const auto strict = series.weekly_delta(0, 10.0, 6, 7, 4);
+  ASSERT_EQ(strict.size(), 1u);
+  EXPECT_EQ(strict[0].week, 6);
+}
+
 }  // namespace
 }  // namespace cellscope::analysis

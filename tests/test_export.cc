@@ -89,8 +89,11 @@ TEST_F(ExportTest, MobilityMatrixCsv) {
   const std::string out = os.str();
   EXPECT_NE(out.find("county,day,date"), std::string::npos);
   EXPECT_NE(out.find("Inner London"), std::string::npos);
-  // (home + 2 receiving counties) x 14 days + header.
-  EXPECT_EQ(line_count(out), 1 + 3 * 14);
+  // Only day 22 carries an observation; the other 13 days of the window are
+  // feed gaps and produce no rows. (home + 2 receiving counties) x 1 covered
+  // day + header.
+  EXPECT_EQ(line_count(out), 1 + 3 * 1);
+  EXPECT_EQ(matrix.covered_days(), 1);
 }
 
 TEST_F(ExportTest, SignalingCsvSkipsEmptyCounters) {

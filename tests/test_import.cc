@@ -64,6 +64,91 @@ TEST(ImportKpis, RejectsMalformedInput) {
   EXPECT_THROW((void)import_kpis_csv(backwards), std::runtime_error);
 }
 
+TEST(ImportKpis, LenientModeQuarantinesAndDeduplicates) {
+  // A degraded warehouse dump: malformed rows interleaved with good ones,
+  // a duplicated (cell, day) key and out-of-order days.
+  std::istringstream is{
+      std::string(kHeader) +
+      "22,2020-02-25,3,1,EC1,90,9,2,0.009,3.1,38,1.4,0.2,0.4,0.3\n"
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\n"
+      "21,x,0,0,A,1\n"                                              // short
+      "21,2020-02-24,7,2,WC1,abc,5,1,0.005,2.8,20,0.7,0.1,0.5,0.2\n"  // bad
+      "21,2020-02-24,7,2,WC1,50,5,1,0.005,2.8,20,0.7,0.1,0.5,0.2\n"
+      "21,2020-02-24,3,1,EC1,999,99,9,0.09,9.9,99,9,9,9,9\n"  // duplicate
+      "\n"
+      "22,2020-02-25,7,2,WC1,45,4,1,0.004,2.7,19,0.6,0.1,0.5,0.2\n"};
+  ImportOptions options;
+  options.lenient = true;
+  const auto result = import_kpis_csv(is, options);
+
+  EXPECT_EQ(result.rows, 4u);
+  EXPECT_EQ(result.quarantined, 2u);
+  EXPECT_EQ(result.duplicates_dropped, 1u);
+  ASSERT_EQ(result.quarantine_log.size(), 2u);
+  EXPECT_EQ(result.quarantine_log[0].line, 4u);
+  EXPECT_NE(result.quarantine_log[0].reason.find("15 fields"),
+            std::string::npos);
+  EXPECT_EQ(result.quarantine_log[1].line, 5u);
+  EXPECT_NE(result.quarantine_log[1].reason.find("bad number"),
+            std::string::npos);
+
+  // Days were re-sorted; first occurrence of the duplicate key won.
+  EXPECT_EQ(result.store.first_day(), 21);
+  EXPECT_EQ(result.store.last_day(), 22);
+  ASSERT_EQ(result.store.records().size(), 4u);
+  const auto& day21_cell3 = result.store.records()[0];
+  EXPECT_EQ(day21_cell3.day, 21);
+  EXPECT_EQ(day21_cell3.cell, CellId{3});
+  EXPECT_DOUBLE_EQ(day21_cell3.dl_volume_mb, 100.5);
+
+  // The quality ledger books everything under "kpi-import".
+  const auto* feed = result.quality.find("kpi-import");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(feed->observed_records, 4u);
+  EXPECT_EQ(feed->quarantined_records, 2u);
+  EXPECT_EQ(feed->duplicate_records, 1u);
+}
+
+TEST(ImportKpis, LenientQuarantineLogIsCappedButCountersAreExact) {
+  std::string corpus{kHeader};
+  for (int i = 0; i < 30; ++i) corpus += "garbage row\n";
+  std::istringstream is{corpus};
+  ImportOptions options;
+  options.lenient = true;
+  options.max_quarantine_log = 5;
+  const auto result = import_kpis_csv(is, options);
+  EXPECT_EQ(result.rows, 0u);
+  EXPECT_EQ(result.quarantined, 30u);
+  EXPECT_EQ(result.quarantine_log.size(), 5u);
+}
+
+TEST(ImportKpis, LenientModeStillRejectsBadHeaders) {
+  ImportOptions options;
+  options.lenient = true;
+  std::istringstream empty{""};
+  EXPECT_THROW((void)import_kpis_csv(empty, options), std::runtime_error);
+  std::istringstream bad_header{"nope\n"};
+  EXPECT_THROW((void)import_kpis_csv(bad_header, options),
+               std::runtime_error);
+}
+
+TEST(ImportKpis, StrictOptionsMatchDefaultBehaviour) {
+  const std::string corpus =
+      std::string(kHeader) +
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\n";
+  std::istringstream a{corpus};
+  std::istringstream b{corpus};
+  const auto strict_default = import_kpis_csv(a);
+  const auto strict_explicit = import_kpis_csv(b, ImportOptions{});
+  EXPECT_EQ(strict_default.rows, strict_explicit.rows);
+  EXPECT_TRUE(strict_explicit.quality.empty());
+  EXPECT_EQ(strict_explicit.quarantined, 0u);
+
+  std::istringstream bad{std::string(kHeader) + "21,x,0,0,A,1\n"};
+  EXPECT_THROW((void)import_kpis_csv(bad, ImportOptions{}),
+               std::runtime_error);
+}
+
 TEST(ImportKpis, RoundTripsThroughExport) {
   // Build a small store, export it, re-import it, and compare series.
   const auto geography = geo::UkGeography::build();

@@ -1,0 +1,142 @@
+// Feed data-quality accounting: counters, coverage, gaps, merge and export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/export.h"
+#include "telemetry/quality.h"
+
+namespace cellscope::telemetry {
+namespace {
+
+TEST(FeedQuality_, CompletenessAndCoverage) {
+  FeedQualityReport report;
+  EXPECT_TRUE(report.empty());
+  report.expect("kpi", 10, 100);
+  report.observe("kpi", 10, 90);
+  report.expect("kpi", 11, 100);
+  report.observe("kpi", 11, 100);
+  EXPECT_FALSE(report.empty());
+
+  const auto* feed = report.find("kpi");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(feed->expected_records, 200u);
+  EXPECT_EQ(feed->observed_records, 190u);
+  EXPECT_DOUBLE_EQ(feed->completeness(), 0.95);
+  EXPECT_DOUBLE_EQ(feed->coverage(10), 0.9);
+  EXPECT_DOUBLE_EQ(feed->coverage(11), 1.0);
+  // Untracked day: nothing was expected, so coverage is vacuously full.
+  EXPECT_DOUBLE_EQ(feed->coverage(12), 1.0);
+}
+
+TEST(FeedQuality_, EmptyFeedIsComplete) {
+  FeedQualityReport report;
+  auto& feed = report.feed("probe");
+  EXPECT_DOUBLE_EQ(feed.completeness(), 1.0);
+  EXPECT_EQ(feed.largest_gap_days(), 0);
+}
+
+TEST(FeedQuality_, QuarantineAndDuplicateCounters) {
+  FeedQualityReport report;
+  report.quarantine("import", 3);
+  report.duplicate("import");
+  report.duplicate("import");
+  const auto* feed = report.find("import");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(feed->quarantined_records, 3u);
+  EXPECT_EQ(feed->duplicate_records, 2u);
+}
+
+TEST(FeedQuality_, LargestGapCountsConsecutiveLowCoverageDays) {
+  FeedQualityReport report;
+  // Days 1-8 tracked; days 3,4,5 dark, day 7 dark.
+  for (SimDay d = 1; d <= 8; ++d) {
+    report.expect("f", d, 10);
+    const bool dark = (d >= 3 && d <= 5) || d == 7;
+    report.observe("f", d, dark ? 2u : 10u);
+  }
+  const auto* feed = report.find("f");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(feed->largest_gap_days(0.5), 3);
+  // At a stricter threshold nothing is a gap.
+  EXPECT_EQ(feed->largest_gap_days(0.1), 0);
+}
+
+TEST(FeedQuality_, GapRunsBreakAcrossUntrackedDays) {
+  FeedQualityReport report;
+  // Two dark days separated by an untracked day must not merge into one
+  // 3-day gap.
+  report.expect("f", 1, 10);
+  report.observe("f", 1, 0);
+  report.expect("f", 3, 10);
+  report.observe("f", 3, 0);
+  const auto* feed = report.find("f");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(feed->largest_gap_days(0.5), 1);
+}
+
+TEST(FeedQualityReport_, MergeAddsCounters) {
+  FeedQualityReport a;
+  a.expect("kpi", 5, 10);
+  a.observe("kpi", 5, 8);
+  a.quarantine("kpi", 1);
+
+  FeedQualityReport b;
+  b.expect("kpi", 5, 10);
+  b.observe("kpi", 5, 10);
+  b.expect("kpi", 6, 10);
+  b.observe("kpi", 6, 9);
+  b.duplicate("kpi", 2);
+  b.expect("other", 5, 1);
+
+  a.merge(b);
+  const auto* kpi = a.find("kpi");
+  ASSERT_NE(kpi, nullptr);
+  EXPECT_EQ(kpi->expected_records, 30u);
+  EXPECT_EQ(kpi->observed_records, 27u);
+  EXPECT_EQ(kpi->quarantined_records, 1u);
+  EXPECT_EQ(kpi->duplicate_records, 2u);
+  EXPECT_DOUBLE_EQ(kpi->coverage(5), 0.9);
+  EXPECT_DOUBLE_EQ(kpi->coverage(6), 0.9);
+  EXPECT_NE(a.find("other"), nullptr);
+}
+
+TEST(FeedQualityReport_, PrintListsEveryFeed) {
+  FeedQualityReport report;
+  report.expect("signaling", 5, 100);
+  report.observe("signaling", 5, 80);
+  report.quarantine("imports", 7);
+  std::ostringstream os;
+  report.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("signaling"), std::string::npos);
+  EXPECT_NE(out.find("imports"), std::string::npos);
+  EXPECT_NE(out.find("80"), std::string::npos);
+}
+
+TEST(ExportQualityCsv, EmitsDayRowsAndTotals) {
+  FeedQualityReport report;
+  report.expect("kpi", 10, 100);
+  report.observe("kpi", 10, 90);
+  report.expect("kpi", 11, 100);
+  report.observe("kpi", 11, 100);
+  report.quarantine("kpi", 4);
+  report.duplicate("kpi", 2);
+
+  std::ostringstream os;
+  analysis::export_quality_csv(os, report);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("feed,day,date,expected,observed,coverage"),
+            std::string::npos);
+  EXPECT_NE(out.find("kpi,10,"), std::string::npos);
+  EXPECT_NE(out.find("kpi,11,"), std::string::npos);
+  EXPECT_NE(out.find("kpi,-1,total,200,190,0.95,4,2"), std::string::npos);
+  // header + 2 day rows + 1 totals row
+  int lines = 0;
+  for (const char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace cellscope::telemetry

@@ -36,8 +36,25 @@ TEST(DailySeries, OutOfRangeQueriesAreSafe) {
   DailySeries s{5, 10};
   EXPECT_FALSE(s.has(4));
   EXPECT_FALSE(s.has(11));
-  EXPECT_DOUBLE_EQ(s.value(4), 0.0);
   EXPECT_EQ(s.count(11), 0u);
+}
+
+TEST(DailySeries, ValueThrowsOnMissingDay) {
+  DailySeries s{5, 10};
+  s.set(6, 2.0);
+  // A missing day is a gap, not a zero: value() refuses to invent data.
+  EXPECT_THROW(s.value(4), std::out_of_range);   // outside the window
+  EXPECT_THROW(s.value(7), std::out_of_range);   // inside, never set
+  EXPECT_DOUBLE_EQ(s.value(6), 2.0);
+}
+
+TEST(DailySeries, ValueOrFillsMissingDaysExplicitly) {
+  DailySeries s{5, 10};
+  s.set(6, 2.0);
+  EXPECT_DOUBLE_EQ(s.value_or(6), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_or(7), 0.0);
+  EXPECT_DOUBLE_EQ(s.value_or(7, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.value_or(4, 9.0), 9.0);
 }
 
 TEST(DailySeries, InvalidRangeThrows) {
@@ -120,6 +137,56 @@ TEST(WeeklyDelta, EmptyWeeksAreOmitted) {
   const auto weekly = weekly_median_delta_percent(s, 5.0, 6, 8);
   ASSERT_EQ(weekly.size(), 1u);
   EXPECT_EQ(weekly[0].week, 6);
+}
+
+TEST(DailySeries, WeekCoveredDaysCountsOnlySetDays) {
+  DailySeries s{0, 13};
+  EXPECT_EQ(s.week_covered_days(6), 0);
+  s.set(0, 1.0);
+  s.set(3, 1.0);
+  s.set(6, 1.0);
+  s.set(7, 1.0);  // week 7
+  EXPECT_EQ(s.week_covered_days(6), 3);
+  EXPECT_EQ(s.week_covered_days(7), 1);
+  EXPECT_EQ(s.week_covered_days(8), 0);  // outside the series window
+}
+
+TEST(WeeklyDelta, MinSamplesOmitsSparseWeeks) {
+  DailySeries s{0, 13};
+  // Week 6 fully covered, week 7 only two days.
+  for (SimDay d = 0; d < 7; ++d) s.set(d, 10.0);
+  s.set(7, 20.0);
+  s.set(8, 20.0);
+  const auto all = weekly_median_delta_percent(s, 10.0, 6, 7, 1);
+  ASSERT_EQ(all.size(), 2u);
+  const auto filtered = weekly_median_delta_percent(s, 10.0, 6, 7, 3);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].week, 6);
+  // The same threshold applies to the mean reduction.
+  const auto mean_filtered = weekly_mean_delta_percent(s, 10.0, 6, 7, 3);
+  ASSERT_EQ(mean_filtered.size(), 1u);
+  EXPECT_EQ(mean_filtered[0].week, 6);
+}
+
+TEST(WeeklyDelta, MinSamplesPropertyNeverAdmitsSparserWeeks) {
+  // Property: raising min_samples can only shrink the reported week set,
+  // and a week survives threshold k iff it has >= k covered days.
+  DailySeries s{0, 7 * 4 - 1};
+  // Weeks 6..9 covered with 1, 3, 5, 7 days respectively.
+  const int covered[] = {1, 3, 5, 7};
+  for (int w = 0; w < 4; ++w)
+    for (int d = 0; d < covered[w]; ++d)
+      s.set(static_cast<SimDay>(7 * w + d), 10.0);
+  std::size_t previous = 5;
+  for (int k = 1; k <= 8; ++k) {
+    const auto weekly = weekly_median_delta_percent(s, 10.0, 6, 9, k);
+    std::size_t expected = 0;
+    for (const int c : covered)
+      if (c >= k) ++expected;
+    EXPECT_EQ(weekly.size(), expected) << "min_samples=" << k;
+    EXPECT_LE(weekly.size(), previous);
+    previous = weekly.size();
+  }
 }
 
 TEST(DailySeries, FirstLastWeekHelpers) {
