@@ -5,11 +5,20 @@
 // entropy (Eq 1), radius of gyration (Eq 2), the combined per-user-day
 // metric computation at several top-K settings, the LTE scheduler hour and
 // home-detection ingestion.
+//
+// With CELLSCOPE_OBS_DIR set, the full google-benchmark report (per-kernel
+// ns/op) is additionally written to <dir>/perf_kernels.json — the
+// machine-readable baseline the BENCH_*.json perf trajectory tracks.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/home_detection.h"
 #include "analysis/mobility_metrics.h"
 #include "common/rng.h"
+#include "obs/runtime.h"
 #include "radio/scheduler.h"
 
 using namespace cellscope;
@@ -111,4 +120,22 @@ BENCHMARK(BM_HomeDetectorObserve);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus JSON output into CELLSCOPE_OBS_DIR when set.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  if (const char* dir = std::getenv("CELLSCOPE_OBS_DIR")) {
+    const std::string obs_dir = cellscope::obs::ensure_obs_dir(dir);
+    out_flag = "--benchmark_out=" + obs_dir + "/perf_kernels.json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

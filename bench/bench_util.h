@@ -9,9 +9,19 @@
 //   CELLSCOPE_BENCH_THREADS  simulator worker threads (default 1 = serial)
 //   CELLSCOPE_BENCH_FAULTS   fault-injection spec, e.g. "loss=0.05,dup=0.01"
 //                            (see sim::parse_fault_spec; default: no faults)
+//   CELLSCOPE_OBS_DIR        when set, enables the observability runtime
+//                            and writes <slug>.trace.json (Chrome trace),
+//                            <slug>.phases.csv and <slug>.manifest.json
+//                            into that directory (see docs/OBSERVABILITY.md)
+// Malformed numeric overrides exit with status 2 and a one-line error.
 #pragma once
 
+#include <cctype>
+#include <charconv>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -19,18 +29,49 @@
 
 #include "common/table.h"
 #include "common/timeseries.h"
+#include "obs/manifest.h"
+#include "obs/runtime.h"
 #include "sim/simulator.h"
 
 namespace cellscope::bench {
 
+// Full-string non-negative integer parse for environment overrides. Exits 2
+// with a one-line error on anything else — empty strings, signs, trailing
+// junk ("40k"), overflow — matching the CELLSCOPE_BENCH_FAULTS behaviour.
+inline unsigned long long parse_env_count(const char* var, const char* text) {
+  unsigned long long value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (text == end || ec != std::errc{} || ptr != end) {
+    std::cerr << var << ": malformed value '" << text
+              << "' (expected a non-negative integer)\n";
+    std::exit(2);
+  }
+  return value;
+}
+
 inline sim::ScenarioConfig figure_scenario(bool with_kpis) {
   sim::ScenarioConfig config = sim::default_scenario();
-  if (const char* users = std::getenv("CELLSCOPE_BENCH_USERS"))
-    config.num_users = static_cast<std::uint32_t>(std::strtoul(users, nullptr, 10));
+  if (const char* users = std::getenv("CELLSCOPE_BENCH_USERS")) {
+    const auto value = parse_env_count("CELLSCOPE_BENCH_USERS", users);
+    if (value == 0 || value > 0xffffffffULL) {
+      std::cerr << "CELLSCOPE_BENCH_USERS: value '" << users
+                << "' out of range\n";
+      std::exit(2);
+    }
+    config.num_users = static_cast<std::uint32_t>(value);
+  }
   if (const char* seed = std::getenv("CELLSCOPE_BENCH_SEED"))
-    config.seed = std::strtoull(seed, nullptr, 10);
-  if (const char* threads = std::getenv("CELLSCOPE_BENCH_THREADS"))
-    config.worker_threads = std::atoi(threads);
+    config.seed = parse_env_count("CELLSCOPE_BENCH_SEED", seed);
+  if (const char* threads = std::getenv("CELLSCOPE_BENCH_THREADS")) {
+    const auto value = parse_env_count("CELLSCOPE_BENCH_THREADS", threads);
+    if (value < 1 || value > 256) {
+      std::cerr << "CELLSCOPE_BENCH_THREADS: value '" << threads
+                << "' out of range [1, 256]\n";
+      std::exit(2);
+    }
+    config.worker_threads = static_cast<int>(value);
+  }
   if (const char* faults = std::getenv("CELLSCOPE_BENCH_FAULTS")) {
     try {
       config.faults = sim::parse_fault_spec(faults);
@@ -42,6 +83,89 @@ inline sim::ScenarioConfig figure_scenario(bool with_kpis) {
   config.collect_kpis = with_kpis;
   config.collect_signaling = with_kpis;
   return config;
+}
+
+// Filename slug for a bench banner: "Figure 3: national mobility" ->
+// "figure-3-national-mobility".
+inline std::string slugify(const std::string& text) {
+  std::string slug;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? std::string("bench") : slug;
+}
+
+// Standard observability epilogue: prints the phase-timing summary and
+// writes the Chrome trace, per-phase CSV and run manifest into
+// CELLSCOPE_OBS_DIR. Only called when the runtime is enabled.
+inline void write_obs_outputs(const std::string& slug,
+                              const sim::ScenarioConfig& config,
+                              const sim::Dataset& data,
+                              double wall_seconds) {
+  const std::string dir = obs::ensure_obs_dir(obs::obs_dir_from_env());
+  obs::Tracer& tracer = obs::tracer();
+
+  const auto days =
+      static_cast<double>(config.last_day() - config.first_day() + 1);
+  const double user_days = static_cast<double>(config.num_users) * days;
+
+  obs::RunManifest manifest;
+  manifest.name = slug;
+  manifest.git_describe = obs::build_describe();
+  manifest.config_digest = sim::config_digest(config);
+  manifest.seed = config.seed;
+  manifest.users = config.num_users;
+  manifest.worker_threads = config.worker_threads;
+  manifest.first_week = config.first_week;
+  manifest.last_week = config.last_week;
+  manifest.wall_seconds = wall_seconds;
+  manifest.user_days_per_sec =
+      wall_seconds > 0.0 ? user_days / wall_seconds : 0.0;
+  manifest.peak_rss_kb = obs::peak_rss_kb();
+  manifest.phases = tracer.phase_totals();
+  manifest.metrics = obs::metrics().snapshot();
+  for (const auto& feed : data.quality.feeds()) {
+    obs::RunManifest::FeedSummary summary;
+    summary.name = feed.name;
+    summary.expected = feed.expected_records;
+    summary.observed = feed.observed_records;
+    summary.quarantined = feed.quarantined_records;
+    summary.duplicates = feed.duplicate_records;
+    summary.completeness = feed.completeness();
+    manifest.feeds.push_back(std::move(summary));
+  }
+
+  const std::string base = dir + "/" + slug;
+  {
+    std::ofstream out(base + ".trace.json");
+    tracer.write_chrome_trace(out);
+  }
+  {
+    std::ofstream out(base + ".phases.csv");
+    tracer.write_phase_csv(out);
+  }
+  {
+    std::ofstream out(base + ".manifest.json");
+    obs::write_manifest_json(out, manifest);
+  }
+
+  print_banner(std::cout, "Observability: phase timing");
+  TextTable table({"phase", "count", "total_ms", "mean_ms"});
+  for (const auto& phase : manifest.phases)
+    table.row()
+        .cell(phase.name)
+        .cell(static_cast<long long>(phase.count))
+        .cell(phase.total_ms, 1)
+        .cell(phase.mean_ms(), 2);
+  table.print(std::cout);
+  std::cout << "wall " << wall_seconds << " s, "
+            << manifest.user_days_per_sec << " user-days/s; outputs in "
+            << dir << "/ (" << slug << ".{trace.json,phases.csv,manifest.json})\n";
 }
 
 inline sim::Dataset run_figure_scenario(bool with_kpis,
@@ -63,7 +187,16 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
               << " kpi_outages/wk=" << config.faults.kpi_outages_per_week
               << " cell_daily=" << config.faults.cell_outage_daily_prob
               << ")\n";
-  return sim::run_scenario(config);
+  // Observability is opt-in via CELLSCOPE_OBS_DIR; with it unset the run is
+  // untouched and no files are written.
+  const bool obs_on = obs::enable_from_env();
+  const auto start = std::chrono::steady_clock::now();
+  auto data = sim::run_scenario(config);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (obs_on) write_obs_outputs(slugify(banner), config, data, wall_seconds);
+  return data;
 }
 
 // Renders several weekly series as one table: a week column plus one column

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/network_metrics.h"
+#include "obs/runtime.h"
 
 namespace cellscope::analysis {
 
@@ -195,13 +196,23 @@ KpiImportResult import_kpis_lenient(std::istream& is,
 }  // namespace
 
 KpiImportResult import_kpis_csv(std::istream& is) {
-  return import_kpis_strict(is);
+  return import_kpis_csv(is, ImportOptions{});
 }
 
 KpiImportResult import_kpis_csv(std::istream& is,
                                 const ImportOptions& options) {
-  if (!options.lenient) return import_kpis_strict(is);
-  return import_kpis_lenient(is, options);
+  const auto span = obs::tracer().span(
+      options.lenient ? "import.kpis.lenient" : "import.kpis.strict",
+      "analysis");
+  auto result = options.lenient ? import_kpis_lenient(is, options)
+                                : import_kpis_strict(is);
+  if (obs::enabled()) {
+    auto& metrics = obs::metrics();
+    metrics.add("import.rows", result.rows);
+    metrics.add("import.quarantined", result.quarantined);
+    metrics.add("import.duplicates_dropped", result.duplicates_dropped);
+  }
+  return result;
 }
 
 CellGrouping grouping_from_names(

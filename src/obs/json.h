@@ -1,0 +1,35 @@
+// Minimal JSON string escaping shared by the trace and manifest writers.
+// The obs subsystem emits (never parses) JSON, and only flat documents, so
+// a full JSON library would be dead weight.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cellscope::obs {
+
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellscope::obs {
+
+void Histogram::record(double value) {
+  if (samples_.empty()) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: the smallest value with at least p% of samples <= it.
+  const auto rank = static_cast<std::size_t>(std::ceil(
+      clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    if (counter_names_[i] == name)
+      return MetricId{static_cast<std::uint32_t>(i)};
+  counter_names_.emplace_back(name);
+  counter_values_.push_back(0);
+  return MetricId{static_cast<std::uint32_t>(counter_names_.size() - 1)};
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t n) {
+  if (!id.valid()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id.index < counter_values_.size()) counter_values_[id.index] += n;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t n) {
+  add(counter(name), n);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    if (counter_names_[i] == name) return counter_values_[i];
+  return 0;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [gauge_name, gauge_value] : gauges_) {
+    if (gauge_name == name) {
+      gauge_value = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(std::string(name), value);
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [gauge_name, gauge_value] : gauges_)
+    if (gauge_name == name) return gauge_value;
+  return 0.0;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [hist_name, hist] : histograms_)
+    if (hist_name == name) return *hist;
+  histograms_.emplace_back(std::string(name), std::make_unique<Histogram>());
+  return *histograms_.back().second;
+}
+
+void MetricsRegistry::merge(MetricsShard& shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto& values = shard.values();
+  const std::size_t n = std::min(values.size(), counter_values_.size());
+  for (std::size_t i = 0; i < n; ++i) counter_values_[i] += values[i];
+  shard.clear();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counter_names_.size() + gauges_.size() + histograms_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    MetricSnapshot s;
+    s.name = counter_names_[i];
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.count = counter_values_[i];
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, value] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = value;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.count = hist->count();
+    s.value = hist->sum();
+    s.min = hist->min();
+    s.max = hist->max();
+    s.p50 = hist->percentile(50.0);
+    s.p95 = hist->percentile(95.0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counter_names_.clear();
+  counter_values_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,126 @@
+// Metrics registry: named counters, gauges and histograms.
+//
+// The registry is the serial-phase aggregation point; the hot path never
+// touches it. Worker threads accumulate counter increments into a private
+// MetricsShard (a plain array indexed by MetricId — no locks, no atomics,
+// no false sharing with other workers' shards) and the owner merges shards
+// back into the registry at phase end (e.g. once per simulated day), under
+// the registry mutex. Gauges and histograms are recorded directly on the
+// registry from serial code.
+//
+// Histograms keep their samples (the populations here are small: one value
+// per simulated day, per import, per bench repetition) so percentiles are
+// exact nearest-rank, matching common/stats.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cellscope::obs {
+
+// Handle to a registered counter. Invalid ids are ignored by shards, so
+// instrumented code can hold unregistered handles when metrics are off.
+struct MetricId {
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t index = kInvalid;
+
+  [[nodiscard]] bool valid() const { return index != kInvalid; }
+};
+
+// Exact-percentile histogram over recorded samples.
+class Histogram {
+ public:
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count() ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count() ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count() ? sum_ / static_cast<double>(count()) : 0.0;
+  }
+  // Nearest-rank percentile, p in [0, 100]; 0 on an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// One metric's value at snapshot time, for reports and manifests.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  // counter value, or histogram sample count
+  double value = 0.0;       // gauge value, or histogram sum
+  // Histogram summary (zero for counters/gauges).
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+// Worker-private counter deltas; see the header comment for the protocol.
+class MetricsShard {
+ public:
+  void add(MetricId id, std::uint64_t n = 1) {
+    if (!id.valid()) return;
+    if (id.index >= values_.size()) values_.resize(id.index + 1, 0);
+    values_[id.index] += n;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const {
+    return values_;
+  }
+  void clear() { values_.assign(values_.size(), 0); }
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+class MetricsRegistry {
+ public:
+  // Registers (or finds) a counter and returns its handle. Serial phase.
+  MetricId counter(std::string_view name);
+  // Adds to a counter directly (serial code; takes the mutex).
+  void add(MetricId id, std::uint64_t n = 1);
+  void add(std::string_view name, std::uint64_t n = 1);
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  void set_gauge(std::string_view name, double value);
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  // Fetches (creating on first use) a histogram. The reference stays valid
+  // for the registry's lifetime; record() through it is serial-phase only.
+  Histogram& histogram(std::string_view name);
+
+  // Folds a shard's counter deltas into the registry and clears the shard.
+  void merge(MetricsShard& shard);
+
+  // Every metric in registration order (counters, gauges, histograms).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  [[nodiscard]] bool empty() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::uint64_t> counter_values_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  // Deque-like stability via unique_ptr: histogram references survive
+  // later registrations.
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace cellscope::obs

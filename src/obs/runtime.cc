@@ -1,0 +1,91 @@
+#include "obs/runtime.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cellscope::obs {
+
+namespace {
+// Mirrors Tracer::enabled_ so enabled() needs no indirection and stays a
+// single relaxed load even when called from worker threads.
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  tracer().set_enabled(on);
+}
+
+void reset() {
+  tracer().reset();
+  metrics().reset();
+}
+
+std::string obs_dir_from_env() {
+  const char* dir = std::getenv("CELLSCOPE_OBS_DIR");
+  return dir ? std::string(dir) : std::string{};
+}
+
+bool enable_from_env() {
+  if (!obs_dir_from_env().empty()) set_enabled(true);
+  return enabled();
+}
+
+std::string ensure_obs_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("obs: cannot create output dir '" + dir +
+                             "': " + ec.message());
+  // Self-ignoring: even if the dir sits inside the repo (CELLSCOPE_OBS_DIR=
+  // obs-out is the documented default), git never picks its contents up.
+  const auto gitignore = std::filesystem::path(dir) / ".gitignore";
+  if (!std::filesystem::exists(gitignore)) {
+    std::ofstream out(gitignore);
+    out << "*\n";
+  }
+  return dir;
+}
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return usage.ru_maxrss;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::string build_describe() {
+#ifdef CELLSCOPE_GIT_DESCRIBE
+  return CELLSCOPE_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,55 @@
+// Process-wide observability runtime.
+//
+// One tracer and one metrics registry per process, shared by the simulator,
+// the importers and the benches. Observability is opt-in and off by
+// default: the instrumented code paths cost a branch on a cached bool when
+// disabled, record nothing, and never perturb simulation results (tracing
+// reads clocks; it never touches RNG streams or model state).
+//
+// The conventional switch is the CELLSCOPE_OBS_DIR environment variable:
+// when set, benches enable the runtime and write their trace, per-phase CSV
+// and run manifest into that directory. Library code never reads the
+// environment on its own — enabling is always an explicit call.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cellscope::obs {
+
+// The process-wide instances. Construction is thread-safe (C++ magic
+// statics); use is governed by the protocols in trace.h / metrics.h.
+[[nodiscard]] Tracer& tracer();
+[[nodiscard]] MetricsRegistry& metrics();
+
+// Fast path for instrumented code: is the runtime collecting?
+[[nodiscard]] bool enabled();
+
+// Turns collection on/off (serial phase only). Enabling resets nothing;
+// call reset() for a clean slate.
+void set_enabled(bool on);
+
+// Clears the tracer and registry (tests, or back-to-back runs).
+void reset();
+
+// CELLSCOPE_OBS_DIR, or an empty string when unset.
+[[nodiscard]] std::string obs_dir_from_env();
+
+// Enables the runtime iff CELLSCOPE_OBS_DIR is set; returns enabled().
+bool enable_from_env();
+
+// Creates `dir` (and parents) if needed and drops a `.gitignore` ignoring
+// the whole directory, so an output dir inside a source tree can never be
+// committed. Returns `dir`; throws std::runtime_error on failure.
+std::string ensure_obs_dir(const std::string& dir);
+
+// Peak resident set size of this process in kB (0 where unsupported).
+[[nodiscard]] long peak_rss_kb();
+
+// Build provenance: the `git describe` captured at configure time, or
+// "unknown" when the build did not embed one.
+[[nodiscard]] std::string build_describe();
+
+}  // namespace cellscope::obs

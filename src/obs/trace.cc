@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace cellscope::obs {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Nesting level of live spans opened by this thread. Each thread tracks its
+// own stack, so main-lane spans nest correctly and every worker thread
+// starts at depth 0 on its own lane.
+thread_local std::uint32_t t_live_depth = 0;
+
+}  // namespace
+
+Span::Span(Tracer* tracer, std::string name, std::string category,
+           std::int64_t arg, std::uint32_t lane)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      arg_(arg),
+      start_us_(tracer->now_us()),
+      lane_(lane),
+      depth_(t_live_depth) {
+  ++t_live_depth;
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      arg_(other.arg_),
+      start_us_(other.start_us_),
+      lane_(other.lane_),
+      depth_(other.depth_) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    arg_ = other.arg_;
+    start_us_ = other.start_us_;
+    lane_ = other.lane_;
+    depth_ = other.depth_;
+  }
+  return *this;
+}
+
+void Span::close() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  --t_live_depth;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.category = std::move(category_);
+  record.arg = arg_;
+  record.start_us = start_us_;
+  record.duration_us = tracer->now_us() - start_us_;
+  record.lane = lane_;
+  record.depth = depth_;
+  tracer->record(std::move(record));
+}
+
+Tracer::Tracer() : epoch_ns_(monotonic_ns()) {}
+
+std::uint64_t Tracer::now_us() const {
+  return (monotonic_ns() - epoch_ns_) / 1000;
+}
+
+Span Tracer::span(std::string name, std::string category, std::int64_t arg,
+                  std::uint32_t lane) {
+  if (!enabled_) return Span{};
+  return Span{this, std::move(name), std::move(category), arg, lane};
+}
+
+void Tracer::record(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  epoch_ns_ = monotonic_ns();
+}
+
+namespace {
+
+std::vector<PhaseTotal> aggregate(const std::vector<SpanRecord>& records,
+                                  bool top_level_only) {
+  std::vector<PhaseTotal> totals;
+  for (const auto& r : records) {
+    if (top_level_only && (r.lane != 0 || r.depth != 0)) continue;
+    PhaseTotal* total = nullptr;
+    for (auto& t : totals) {
+      if (t.name == r.name) {
+        total = &t;
+        break;
+      }
+    }
+    if (total == nullptr) {
+      totals.emplace_back();
+      total = &totals.back();
+      total->name = r.name;
+      total->category = r.category;
+    }
+    ++total->count;
+    total->total_ms += static_cast<double>(r.duration_us) / 1000.0;
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<PhaseTotal> Tracer::phase_totals() const {
+  return aggregate(records(), /*top_level_only=*/true);
+}
+
+std::vector<PhaseTotal> Tracer::all_totals() const {
+  return aggregate(records(), /*top_level_only=*/false);
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  auto sorted = records();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& r : sorted) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(r.name) << "\",\"cat\":\""
+       << json_escape(r.category) << "\",\"ph\":\"X\",\"ts\":" << r.start_us
+       << ",\"dur\":" << r.duration_us << ",\"pid\":1,\"tid\":" << r.lane;
+    if (r.arg >= 0) os << ",\"args\":{\"day\":" << r.arg << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::write_phase_csv(std::ostream& os) const {
+  os << "phase,category,count,total_ms,mean_ms\n";
+  for (const auto& t : all_totals()) {
+    os << t.name << "," << t.category << "," << t.count << "," << t.total_ms
+       << "," << t.mean_ms() << "\n";
+  }
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,126 @@
+// Phase/span tracing for the simulation pipeline.
+//
+// The paper's measurement platform accounts for where its probes spend
+// effort; this is the same discipline applied to our own runtime. A Tracer
+// collects coarse, RAII-scoped spans ("setup.topology", one "day" span per
+// simulated day, per-worker shard spans) and exports them two ways: Chrome
+// trace_event JSON (loadable in chrome://tracing or ui.perfetto.dev) and a
+// flat per-phase CSV of aggregated wall times. Spans are deliberately
+// coarse — a handful per simulated day — so the mutex protecting the record
+// buffer is uncontended; per-user hot paths never open spans.
+//
+// A disabled tracer costs one branch on a cached bool per span() call and
+// records nothing, so instrumented code can create spans unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellscope::obs {
+
+// One closed span. `lane` is a display track: 0 is the serial main lane,
+// workers use 1..N. `depth` is the nesting level within the opening
+// thread's stack of live spans (0 = top level).
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::int64_t arg = -1;  // optional numeric tag (e.g. SimDay); < 0 = none
+  std::uint64_t start_us = 0;  // relative to tracer epoch
+  std::uint64_t duration_us = 0;
+  std::uint32_t lane = 0;
+  std::uint32_t depth = 0;
+};
+
+// Aggregated wall time of one phase (all spans sharing a name).
+struct PhaseTotal {
+  std::string name;
+  std::string category;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+
+  [[nodiscard]] double mean_ms() const {
+    return count ? total_ms / static_cast<double>(count) : 0.0;
+  }
+};
+
+class Tracer;
+
+// RAII scoped timer. Inert when default-constructed or obtained from a
+// disabled tracer; otherwise records a SpanRecord when it closes.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { close(); }
+
+  // Closes the span now (idempotent; the destructor calls this).
+  void close();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, std::string category,
+       std::int64_t arg, std::uint32_t lane);
+
+  Tracer* tracer_ = nullptr;  // nullptr = inert
+  std::string name_;
+  std::string category_;
+  std::int64_t arg_ = -1;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t lane_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  // Enabling/disabling is serial-phase only (before/after a run); span()
+  // may be called from worker threads while enabled.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Opens a span on the given lane. Returns an inert span when disabled.
+  [[nodiscard]] Span span(std::string name, std::string category = "sim",
+                          std::int64_t arg = -1, std::uint32_t lane = 0);
+
+  // Closed spans, in close order (children precede parents).
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+
+  // Per-phase aggregation over *top-level main-lane* spans only (lane 0,
+  // depth 0), in first-appearance order. These are disjoint in time, so
+  // their totals sum to ~the traced wall time — the manifest's accounting.
+  [[nodiscard]] std::vector<PhaseTotal> phase_totals() const;
+
+  // Like phase_totals() but over every record (nested spans overlap their
+  // parents; worker lanes overlap the main lane). The per-phase CSV.
+  [[nodiscard]] std::vector<PhaseTotal> all_totals() const;
+
+  // Chrome trace_event JSON ("X" complete events, sorted by start time).
+  void write_chrome_trace(std::ostream& os) const;
+
+  // Flat CSV: phase,category,count,total_ms,mean_ms (all spans).
+  void write_phase_csv(std::ostream& os) const;
+
+  // Drops every record and resets the epoch. Serial-phase only.
+  void reset();
+
+  // Microseconds since the tracer epoch (monotonic clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+ private:
+  friend class Span;
+  void record(SpanRecord record);
+
+  bool enabled_ = false;
+  std::uint64_t epoch_ns_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+};
+
+}  // namespace cellscope::obs

@@ -16,6 +16,7 @@ CellHourKpi LteScheduler::schedule_hour(const Cell& cell,
                                         const CellHourLoad& load,
                                         double interconnect_dl_loss_pct) const {
   CellHourKpi kpi;
+  ++hours_scheduled_;
 
   // Mbit/s of usable capacity -> MB deliverable in one hour.
   const double dl_cap_mb = cell.dl_capacity_mbps * params_.capacity_efficiency *
@@ -30,6 +31,7 @@ CellHourKpi LteScheduler::schedule_hour(const Cell& cell,
   // Data bearers get the remaining capacity.
   const double dl_for_data = std::max(0.0, dl_cap_mb - load.voice_dl_mb);
   const double ul_for_data = std::max(0.0, ul_cap_mb - load.voice_ul_mb);
+  if (load.offered_dl_mb > dl_for_data) ++hours_dl_saturated_;
   kpi.data_dl_mb = std::min(load.offered_dl_mb, dl_for_data);
   kpi.data_ul_mb = std::min(load.offered_ul_mb, ul_for_data);
   kpi.dl_volume_mb = kpi.data_dl_mb + load.voice_dl_mb;

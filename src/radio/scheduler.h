@@ -12,6 +12,8 @@
 // share, throughput tracks the application, not the network.
 #pragma once
 
+#include <cstdint>
+
 #include "radio/cell.h"
 
 namespace cellscope::radio {
@@ -82,8 +84,21 @@ class LteScheduler {
 
   [[nodiscard]] const SchedulerParams& params() const { return params_; }
 
+  // Observability: cell-hours scheduled (all calls) and cell-hours whose
+  // offered DL demand exceeded capacity and was clipped. The simulator
+  // publishes these into the metrics registry; not thread-safe — each
+  // serial scheduling context owns its scheduler.
+  [[nodiscard]] std::uint64_t hours_scheduled() const {
+    return hours_scheduled_;
+  }
+  [[nodiscard]] std::uint64_t hours_dl_saturated() const {
+    return hours_dl_saturated_;
+  }
+
  private:
   SchedulerParams params_;
+  mutable std::uint64_t hours_scheduled_ = 0;
+  mutable std::uint64_t hours_dl_saturated_ = 0;
 };
 
 }  // namespace cellscope::radio

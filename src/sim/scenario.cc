@@ -1,8 +1,81 @@
 #include "sim/scenario.h"
 
+#include <cstdio>
 #include <stdexcept>
+#include <string_view>
 
 namespace cellscope::sim {
+
+namespace {
+
+// FNV-1a over a canonical text serialization: stable across platforms and
+// insensitive to struct layout, so the digest survives refactors that do
+// not change scenario meaning.
+class Digest {
+ public:
+  void field(std::string_view name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g;", std::string(name).c_str(),
+                  value);
+    mix(buf);
+  }
+  void field(std::string_view name, std::uint64_t value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%llu;", std::string(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    mix(buf);
+  }
+
+  [[nodiscard]] std::string hex() const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+  }
+
+ private:
+  void mix(std::string_view text) {
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace
+
+std::string config_digest(const ScenarioConfig& config) {
+  Digest digest;
+  digest.field("seed", config.seed);
+  digest.field("first_week", static_cast<std::uint64_t>(config.first_week));
+  digest.field("last_week", static_cast<std::uint64_t>(config.last_week));
+  digest.field("kpi_first_week",
+               static_cast<std::uint64_t>(config.kpi_first_week));
+  digest.field("collect_kpis",
+               static_cast<std::uint64_t>(config.collect_kpis));
+  digest.field("collect_signaling",
+               static_cast<std::uint64_t>(config.collect_signaling));
+  digest.field("collect_binned_mobility",
+               static_cast<std::uint64_t>(config.collect_binned_mobility));
+  digest.field("collect_legacy_kpis",
+               static_cast<std::uint64_t>(config.collect_legacy_kpis));
+  digest.field("num_users", static_cast<std::uint64_t>(config.num_users));
+  digest.field("lte_time_share", config.lte_time_share);
+  digest.field("kpi_reduction",
+               static_cast<std::uint64_t>(config.kpi_reduction));
+  digest.field("sig_outages", config.faults.signaling_outages_per_week);
+  digest.field("sig_hours", config.faults.signaling_outage_mean_hours);
+  digest.field("kpi_outages", config.faults.kpi_outages_per_week);
+  digest.field("kpi_hours", config.faults.kpi_outage_mean_hours);
+  digest.field("cell_daily", config.faults.cell_outage_daily_prob);
+  digest.field("cell_days", config.faults.cell_outage_mean_days);
+  digest.field("obs_loss", config.faults.observation_loss_rate);
+  digest.field("kpi_loss", config.faults.kpi_record_loss_rate);
+  digest.field("kpi_dup", config.faults.kpi_record_duplication_rate);
+  return digest.hex();
+}
 
 void ScenarioConfig::validate() const {
   if (first_week < kEpochIsoWeek)

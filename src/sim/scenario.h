@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "geo/uk_model.h"
 #include "mobility/relocation.h"
@@ -87,6 +88,13 @@ struct ScenarioConfig {
   // std::invalid_argument on violation.
   void validate() const;
 };
+
+// Hex FNV-1a digest of the scenario-identifying fields (seed, window,
+// scale, collection toggles, fault knobs). Two configs that describe the
+// same scenario share a digest; worker_threads is deliberately excluded —
+// it is a runtime choice, not part of the scenario identity. Run manifests
+// carry this so results can be matched across machines and commits.
+[[nodiscard]] std::string config_digest(const ScenarioConfig& config);
 
 // The paper-scale default scenario used by the figure benches.
 [[nodiscard]] ScenarioConfig default_scenario();

@@ -1,10 +1,12 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "analysis/mobility_metrics.h"
+#include "obs/runtime.h"
 #include "mobility/place.h"
 #include "mobility/relocation.h"
 #include "mobility/trajectory.h"
@@ -89,6 +91,24 @@ Dataset run_scenario(const ScenarioConfig& config) {
 Dataset Simulator::run() {
   config_.validate();
 
+  // Observability plumbing. Everything below is behind `obs_on`, a bool
+  // cached once per run: a disabled runtime costs one branch per
+  // instrumentation point and records nothing. Tracing/metrics only read
+  // clocks and counters — never RNG streams or model state — so a traced
+  // run's Dataset is bit-identical to an untraced one.
+  const bool obs_on = obs::enabled();
+  obs::Tracer& tracer = obs::tracer();
+  obs::MetricsRegistry& registry = obs::metrics();
+  obs::MetricId m_user_days, m_observations, m_mobility, m_cells;
+  obs::Histogram* day_wall_hist = nullptr;
+  if (obs_on) {
+    m_user_days = registry.counter("sim.user_days");
+    m_observations = registry.counter("sim.observations");
+    m_mobility = registry.counter("sim.mobility_results");
+    m_cells = registry.counter("scheduler.cells_scheduled");
+    day_wall_hist = &registry.histogram("sim.day_wall_ms");
+  }
+
   Dataset ds;
   ds.config = config_;
   Rng root{config_.seed};
@@ -96,27 +116,36 @@ Dataset Simulator::run() {
   // ---------------------------------------------------------------- setup
   auto geo_config = config_.geography;
   geo_config.seed = config_.seed;
-  ds.geography = std::make_unique<geo::UkGeography>(
-      geo::UkGeography::build(geo_config));
+  {
+    const auto span = tracer.span("setup.geography", "setup");
+    ds.geography = std::make_unique<geo::UkGeography>(
+        geo::UkGeography::build(geo_config));
+  }
   const geo::UkGeography& geography = *ds.geography;
 
-  ds.catalog = std::make_unique<population::DeviceCatalog>(
-      population::DeviceCatalog::build(config_.seed));
+  {
+    const auto span = tracer.span("setup.population", "setup");
+    ds.catalog = std::make_unique<population::DeviceCatalog>(
+        population::DeviceCatalog::build(config_.seed));
 
-  auto pop_config = config_.population;
-  pop_config.num_users = config_.num_users;
-  pop_config.seed = config_.seed;
-  population::PopulationGenerator generator{geography, *ds.catalog};
-  ds.population = std::make_unique<population::Population>(
-      generator.generate(pop_config));
+    auto pop_config = config_.population;
+    pop_config.num_users = config_.num_users;
+    pop_config.seed = config_.seed;
+    population::PopulationGenerator generator{geography, *ds.catalog};
+    ds.population = std::make_unique<population::Population>(
+        generator.generate(pop_config));
+  }
   const auto& subscribers = ds.population->subscribers;
   ds.eligible_users = ds.population->eligible_count();
 
   auto topo_config = config_.topology;
   topo_config.expected_subscribers = config_.num_users;
   topo_config.seed = config_.seed;
-  ds.topology = std::make_unique<radio::RadioTopology>(
-      radio::RadioTopology::build(geography, topo_config));
+  {
+    const auto span = tracer.span("setup.topology", "setup");
+    ds.topology = std::make_unique<radio::RadioTopology>(
+        radio::RadioTopology::build(geography, topo_config));
+  }
   const radio::RadioTopology& topology = *ds.topology;
 
   ds.policy = std::make_unique<mobility::PolicyTimeline>(config_.policy);
@@ -150,9 +179,12 @@ Dataset Simulator::run() {
   std::vector<mobility::UserPlaces> user_places(n_users);
   std::vector<mobility::UserState> user_states(n_users);
   std::vector<std::vector<PlaceCells>> place_cells(n_users);
-  for (std::size_t i = 0; i < n_users; ++i) {
-    Rng user_rng = root.fork("user-places", i);
-    user_places[i] = places_builder.build(subscribers[i], user_rng);
+  {
+    const auto span = tracer.span("setup.places", "setup");
+    for (std::size_t i = 0; i < n_users; ++i) {
+      Rng user_rng = root.fork("user-places", i);
+      user_places[i] = places_builder.build(subscribers[i], user_rng);
+    }
   }
   const auto cells_of = [&](std::size_t user,
                             std::uint8_t place_index) -> const PlaceCells& {
@@ -241,6 +273,8 @@ Dataset Simulator::run() {
     // Per-day observation-feed accounting (faulted runs only).
     std::uint64_t obs_expected = 0;
     std::uint64_t obs_observed = 0;
+    // Private metric deltas, folded into the registry at day end.
+    obs::MetricsShard metrics;
   };
   const int n_workers = config_.worker_threads;
   std::vector<Worker> workers(static_cast<std::size_t>(n_workers));
@@ -268,6 +302,9 @@ Dataset Simulator::run() {
 
   // ------------------------------------------------------------- main loop
   for (SimDay day = first_day; day <= last_day; ++day) {
+    auto day_span = tracer.span("day", "sim", day);
+    const auto day_clock_start = std::chrono::steady_clock::now();
+
     // Finalize homes the moment the analysis window opens.
     if (!homes_finalized && day >= analysis_start) {
       homes_finalized = true;
@@ -317,6 +354,7 @@ Dataset Simulator::run() {
                                   std::vector<traffic::CellStay>& cell_stays) {
       const population::Subscriber& user = subscribers[i];
       mobility::UserState& state = user_states[i];
+      if (obs_on) w.metrics.add(m_user_days);
       Rng rng = root.fork("user-day", i * 1024 + static_cast<std::size_t>(day));
 
       relocation.maybe_decide(user, user_places[i], state, day, rng);
@@ -332,6 +370,7 @@ Dataset Simulator::run() {
       if (!user.native) w.roamers += 1.0;
 
       // --- Build the tower-level observation (merge stays per site). ---
+      if (obs_on) w.metrics.add(m_observations);
       observation.user = user.id;
       observation.day = day;
       observation.stays.clear();
@@ -420,6 +459,7 @@ Dataset Simulator::run() {
             }
           }
           w.mobility.push_back(result);
+          if (obs_on) w.metrics.add(m_mobility);
         }
         if (track_matrix && tracked_london[i])
           w.matrix_obs.push_back(observation);
@@ -513,6 +553,10 @@ Dataset Simulator::run() {
 
     const auto run_range = [&](std::size_t begin, std::size_t end,
                                std::size_t worker_index) {
+      // One span per worker shard, on the worker's own display lane.
+      const auto shard_span =
+          tracer.span("day.users.shard", "worker", day,
+                      static_cast<std::uint32_t>(worker_index + 1));
       Worker& w = workers[worker_index];
       FilteredSignalingSink& sink = sinks[worker_index];
       telemetry::UserDayObservation observation;
@@ -521,25 +565,29 @@ Dataset Simulator::run() {
         process_user(i, w, sink, observation, cell_stays);
     };
 
-    if (n_workers == 1) {
-      run_range(0, n_users, 0);
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(n_workers));
-      for (int t = 0; t < n_workers; ++t) {
-        const std::size_t begin =
-            n_users * static_cast<std::size_t>(t) /
-            static_cast<std::size_t>(n_workers);
-        const std::size_t shard_end =
-            n_users * static_cast<std::size_t>(t + 1) /
-            static_cast<std::size_t>(n_workers);
-        threads.emplace_back(run_range, begin, shard_end,
-                             static_cast<std::size_t>(t));
+    {
+      const auto users_span = tracer.span("day.users", "sim", day);
+      if (n_workers == 1) {
+        run_range(0, n_users, 0);
+      } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(n_workers));
+        for (int t = 0; t < n_workers; ++t) {
+          const std::size_t begin =
+              n_users * static_cast<std::size_t>(t) /
+              static_cast<std::size_t>(n_workers);
+          const std::size_t shard_end =
+              n_users * static_cast<std::size_t>(t + 1) /
+              static_cast<std::size_t>(n_workers);
+          threads.emplace_back(run_range, begin, shard_end,
+                               static_cast<std::size_t>(t));
+        }
+        for (auto& thread : threads) thread.join();
       }
-      for (auto& thread : threads) thread.join();
     }
 
     // --- Apply buffered results serially, shard order == user order. ---
+    auto apply_span = tracer.span("day.apply", "sim", day);
     double roamers_today = 0.0;
     if (kpi_day) {
       std::fill(hour_loads.begin(), hour_loads.end(),
@@ -616,9 +664,11 @@ Dataset Simulator::run() {
         ds.quality.observe("signaling-events", day, forwarded);
       }
     }
+    apply_span.close();
 
     // --- Schedule the day's cell-hours and reduce to daily KPIs. ---
     if (kpi_day) {
+      const auto schedule_span = tracer.span("day.schedule", "sim", day);
       // Interconnect: dimensioned against the first KPI week's busy hour.
       const int calibration_week = config_.kpi_first_week;
       const double day_busy_hour =
@@ -690,10 +740,40 @@ Dataset Simulator::run() {
         ds.quality.observe("kpi-feed", day, observed);
         ds.kpis.add_day(std::move(kept));
       }
+      if (obs_on) registry.add(m_cells, cells_scheduled);
+    }
+
+    // Fold worker metric deltas into the registry at day (phase) end and
+    // account the day's wall time.
+    if (obs_on) {
+      for (auto& w : workers) registry.merge(w.metrics);
+      day_wall_hist->record(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - day_clock_start)
+              .count());
     }
   }
 
   for (const auto& w : workers) ds.signaling.merge(w.probe);
+
+  // Publish the leaf-module counters (each accumulated locally on its
+  // serial path) and the run-level resource gauges.
+  if (obs_on) {
+    registry.add("scheduler.hours_scheduled", scheduler.hours_scheduled());
+    registry.add("scheduler.hours_dl_saturated",
+                 scheduler.hours_dl_saturated());
+    registry.add("interconnect.hours_evaluated",
+                 interconnect.hours_evaluated());
+    registry.add("interconnect.hours_saturated",
+                 interconnect.hours_saturated());
+    registry.add("probe.signaling_events", ds.signaling.events_ingested());
+    std::uint64_t quarantined = 0;
+    for (const auto& feed : ds.quality.feeds())
+      quarantined += feed.quarantined_records;
+    registry.add("quality.quarantined_records", quarantined);
+    registry.set_gauge("process.peak_rss_kb",
+                       static_cast<double>(obs::peak_rss_kb()));
+  }
 
   if (lte_hours + legacy_hours > 0.0)
     ds.measured_lte_time_share = lte_hours / (lte_hours + legacy_hours);

@@ -25,6 +25,7 @@ void SignalingProbe::on_event(const traffic::SignalingEvent& event) {
   const auto i = static_cast<int>(event.type);
   ++counts.total[i];
   if (!event.success) ++counts.failures[i];
+  ++events_ingested_;
 }
 
 void SignalingProbe::merge(const SignalingProbe& other) {
@@ -49,6 +50,7 @@ void SignalingProbe::merge(const SignalingProbe& other) {
     }
   }
   days_ = std::move(merged);
+  events_ingested_ += other.events_ingested_;
 }
 
 const DailySignalingCounts* SignalingProbe::day(SimDay day) const {

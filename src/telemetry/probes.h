@@ -40,8 +40,16 @@ class SignalingProbe final : public traffic::SignalingSink {
   // chronologically ordered days.
   void merge(const SignalingProbe& other);
 
+  // Observability: lifetime event count across every day this probe (and
+  // any probes merged into it) ingested. The simulator publishes this into
+  // the metrics registry after the per-worker merge.
+  [[nodiscard]] std::uint64_t events_ingested() const {
+    return events_ingested_;
+  }
+
  private:
   std::vector<DailySignalingCounts> days_;
+  std::uint64_t events_ingested_ = 0;
 };
 
 }  // namespace cellscope::telemetry

@@ -29,11 +29,13 @@ double VoiceInterconnect::capacity(SimDay day) const {
 
 double VoiceInterconnect::dl_loss_pct(SimDay day,
                                       double offered_offnet_minutes) const {
+  ++hours_evaluated_;
   if (offered_offnet_minutes <= 0.0) return 0.0;
   const double util = offered_offnet_minutes / capacity(day);
   const double loss =
       params_.base_loss_pct *
       std::exp(params_.steepness * (util - params_.knee_utilization));
+  if (loss >= params_.max_loss_pct) ++hours_saturated_;
   return std::clamp(loss, 0.0, params_.max_loss_pct);
 }
 

@@ -9,6 +9,8 @@
 // utilization into a loss percentage via a soft-congestion curve.
 #pragma once
 
+#include <cstdint>
+
 #include "common/simtime.h"
 
 namespace cellscope::traffic {
@@ -47,8 +49,21 @@ class VoiceInterconnect {
 
   [[nodiscard]] const InterconnectParams& params() const { return params_; }
 
+  // Observability: hours evaluated and hours whose loss hit the max_loss
+  // cap (alternate-routing overflow — the Section 4.2 congestion episode in
+  // counter form). Published into the metrics registry by the simulator;
+  // not thread-safe — the interconnect lives on the serial scheduling path.
+  [[nodiscard]] std::uint64_t hours_evaluated() const {
+    return hours_evaluated_;
+  }
+  [[nodiscard]] std::uint64_t hours_saturated() const {
+    return hours_saturated_;
+  }
+
  private:
   InterconnectParams params_;
+  mutable std::uint64_t hours_evaluated_ = 0;
+  mutable std::uint64_t hours_saturated_ = 0;
 };
 
 }  // namespace cellscope::traffic

@@ -1,0 +1,370 @@
+// Observability subsystem: span nesting/ordering, histogram percentiles,
+// shard merging, manifest/trace serialization, the disabled-is-free
+// contract and the "tracing never perturbs results" determinism guarantee.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace cellscope::obs {
+namespace {
+
+// Each test drives the process-wide runtime; start and end clean so tests
+// compose in any order.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  set_enabled(true);
+  {
+    auto outer = tracer().span("outer", "test");
+    {
+      auto inner = tracer().span("inner", "test", 42);
+      auto innermost = tracer().span("innermost", "test");
+    }
+    auto sibling = tracer().span("sibling", "test");
+  }
+  const auto records = tracer().records();
+  ASSERT_EQ(records.size(), 4u);
+  // Close order: children before parents.
+  EXPECT_EQ(records[0].name, "innermost");
+  EXPECT_EQ(records[1].name, "inner");
+  EXPECT_EQ(records[2].name, "sibling");
+  EXPECT_EQ(records[3].name, "outer");
+  // Depth reflects the live-span stack at open time.
+  EXPECT_EQ(records[3].depth, 0u);
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_EQ(records[0].depth, 2u);
+  EXPECT_EQ(records[2].depth, 1u);
+  // The numeric tag survives; untagged spans carry -1.
+  EXPECT_EQ(records[1].arg, 42);
+  EXPECT_EQ(records[0].arg, -1);
+  // Containment: the parent starts no later and runs no shorter.
+  EXPECT_LE(records[3].start_us, records[1].start_us);
+  EXPECT_GE(records[3].start_us + records[3].duration_us,
+            records[1].start_us + records[1].duration_us);
+}
+
+TEST_F(ObsTest, PhaseTotalsAggregateTopLevelMainLaneOnly) {
+  set_enabled(true);
+  {
+    auto a1 = tracer().span("phase-a", "test");
+    auto nested = tracer().span("nested", "test");
+  }
+  { auto a2 = tracer().span("phase-a", "test"); }
+  { auto b = tracer().span("phase-b", "test"); }
+  { auto w = tracer().span("worker-span", "worker", -1, /*lane=*/3); }
+
+  const auto totals = tracer().phase_totals();
+  ASSERT_EQ(totals.size(), 2u);  // nested + worker lanes excluded
+  EXPECT_EQ(totals[0].name, "phase-a");
+  EXPECT_EQ(totals[0].count, 2u);
+  EXPECT_EQ(totals[1].name, "phase-b");
+  EXPECT_EQ(totals[1].count, 1u);
+
+  // The CSV aggregation covers everything.
+  const auto all = tracer().all_totals();
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  {
+    auto span = tracer().span("ghost", "test");
+    auto nested = tracer().span("ghost-child", "test");
+  }
+  EXPECT_TRUE(tracer().records().empty());
+  EXPECT_TRUE(tracer().phase_totals().empty());
+  EXPECT_TRUE(metrics().empty());
+}
+
+TEST_F(ObsTest, HistogramPercentilesAreExactNearestRank) {
+  Histogram hist;
+  EXPECT_EQ(hist.percentile(50.0), 0.0);  // empty
+  for (int i = 100; i >= 1; --i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(95.0), 95.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 100.0);
+  // Single sample: every percentile is that sample.
+  Histogram one;
+  one.record(7.5);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.percentile(99.0), 7.5);
+}
+
+TEST_F(ObsTest, CountersMergeFromConcurrentShards) {
+  auto& registry = metrics();
+  const MetricId a = registry.counter("test.a");
+  const MetricId b = registry.counter("test.b");
+  ASSERT_TRUE(a.valid());
+  ASSERT_NE(a.index, b.index);
+  // Re-registering a name returns the same handle.
+  EXPECT_EQ(registry.counter("test.a").index, a.index);
+
+  MetricsShard shard1, shard2;
+  std::thread t1([&] {
+    for (int i = 0; i < 1000; ++i) shard1.add(a);
+    shard1.add(b, 5);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 500; ++i) shard2.add(a, 2);
+  });
+  t1.join();
+  t2.join();
+  registry.merge(shard1);
+  registry.merge(shard2);
+  EXPECT_EQ(registry.counter_value("test.a"), 2000u);
+  EXPECT_EQ(registry.counter_value("test.b"), 5u);
+  // Merge clears the shard: a second merge adds nothing.
+  registry.merge(shard1);
+  EXPECT_EQ(registry.counter_value("test.a"), 2000u);
+  // Invalid ids are ignored.
+  MetricsShard shard3;
+  shard3.add(MetricId{}, 99);
+  registry.merge(shard3);
+  EXPECT_EQ(registry.counter_value("test.a"), 2000u);
+}
+
+TEST_F(ObsTest, RegistrySnapshotCoversAllKinds) {
+  auto& registry = metrics();
+  registry.add("snap.counter", 3);
+  registry.set_gauge("snap.gauge", 1.5);
+  registry.set_gauge("snap.gauge", 2.5);  // overwrite, not append
+  auto& hist = registry.histogram("snap.hist");
+  hist.record(10.0);
+  hist.record(20.0);
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "snap.counter");
+  EXPECT_EQ(snapshot[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snapshot[0].count, 3u);
+  EXPECT_EQ(snapshot[1].name, "snap.gauge");
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 2.5);
+  EXPECT_EQ(snapshot[2].name, "snap.hist");
+  EXPECT_EQ(snapshot[2].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[2].p50, 10.0);
+}
+
+TEST_F(ObsTest, ChromeTraceIsWellFormed) {
+  set_enabled(true);
+  {
+    auto day = tracer().span("day", "sim", 7);
+    auto worker = tracer().span("day.users.shard", "worker", 7, 2);
+  }
+  std::ostringstream out;
+  tracer().write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"day\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"day\":7}"), std::string::npos);
+  // Balanced braces/brackets (cheap structural validity check).
+  int braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  std::ostringstream csv;
+  tracer().write_phase_csv(csv);
+  EXPECT_NE(csv.str().find("phase,category,count,total_ms,mean_ms"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("day.users.shard,worker,1,"), std::string::npos);
+}
+
+TEST_F(ObsTest, ManifestRoundTrip) {
+  RunManifest manifest;
+  manifest.name = "test-run";
+  manifest.git_describe = "v1.0-3-gabc";
+  manifest.config_digest = "00ff00ff00ff00ff";
+  manifest.seed = 42;
+  manifest.users = 40000;
+  manifest.worker_threads = 4;
+  manifest.first_week = 6;
+  manifest.last_week = 19;
+  manifest.wall_seconds = 12.5;
+  manifest.user_days_per_sec = 313600.0;
+  manifest.peak_rss_kb = 123456;
+  PhaseTotal phase;
+  phase.name = "day";
+  phase.category = "sim";
+  phase.count = 98;
+  phase.total_ms = 11000.0;
+  manifest.phases.push_back(phase);
+  MetricSnapshot metric;
+  metric.name = "sim.observations";
+  metric.kind = MetricSnapshot::Kind::kCounter;
+  metric.count = 3920000;
+  manifest.metrics.push_back(metric);
+  RunManifest::FeedSummary feed;
+  feed.name = "kpi-feed";
+  feed.expected = 100;
+  feed.observed = 95;
+  feed.completeness = 0.95;
+  manifest.feeds.push_back(feed);
+
+  std::ostringstream out;
+  write_manifest_json(out, manifest);
+  const std::string json = out.str();
+
+  // Structural validity + every field surviving the trip.
+  int braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"schema\": \"cellscope-run-manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test-run\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\": \"v1.0-3-gabc\""), std::string::npos);
+  EXPECT_NE(json.find("\"config_digest\": \"00ff00ff00ff00ff\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"users\": 40000"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_kb\": 123456"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"day\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 98"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sim.observations\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3920000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"kpi-feed\""), std::string::npos);
+  EXPECT_NE(json.find("\"observed\": 95"), std::string::npos);
+  EXPECT_NE(json.find("\"completeness\": 0.95"), std::string::npos);
+}
+
+TEST_F(ObsTest, ManifestEscapesStrings) {
+  RunManifest manifest;
+  manifest.name = "quote\"back\\slash\nnewline";
+  std::ostringstream out;
+  write_manifest_json(out, manifest);
+  EXPECT_NE(out.str().find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, EnsureObsDirIsSelfIgnoring) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "cellscope-obs-test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  const std::string created = ensure_obs_dir(dir.string());
+  EXPECT_TRUE(std::filesystem::is_directory(created));
+  std::ifstream gitignore(dir / ".gitignore");
+  std::string contents;
+  std::getline(gitignore, contents);
+  EXPECT_EQ(contents, "*");
+  // Idempotent.
+  EXPECT_EQ(ensure_obs_dir(dir.string()), dir.string());
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST_F(ObsTest, ConfigDigestIdentifiesScenarios) {
+  const auto base = sim::smoke_scenario();
+  auto same = base;
+  same.worker_threads = 8;  // runtime choice: digest unchanged
+  auto other = base;
+  other.seed = base.seed + 1;
+  EXPECT_EQ(sim::config_digest(base).size(), 16u);
+  EXPECT_EQ(sim::config_digest(base), sim::config_digest(same));
+  EXPECT_NE(sim::config_digest(base), sim::config_digest(other));
+}
+
+// The acceptance contract: enabling observability must not perturb the
+// simulation. Same seed, 4 worker threads, traced vs untraced — the
+// Dataset contents must match bit for bit.
+TEST_F(ObsTest, TracedRunMatchesUntracedBitForBit) {
+  auto config = sim::default_scenario();
+  config.num_users = 1'500;
+  config.seed = 77;
+  config.worker_threads = 4;
+
+  ASSERT_FALSE(enabled());
+  const sim::Dataset plain = sim::run_scenario(config);
+
+  set_enabled(true);
+  const sim::Dataset traced = sim::run_scenario(config);
+  set_enabled(false);
+
+  // Tracing actually happened...
+  EXPECT_FALSE(tracer().records().empty());
+  EXPECT_GT(metrics().counter_value("sim.user_days"), 0u);
+  EXPECT_GT(metrics().counter_value("sim.observations"), 0u);
+  EXPECT_GT(metrics().counter_value("scheduler.cells_scheduled"), 0u);
+
+  // ...and changed nothing. Mobility series: bitwise identical.
+  for (SimDay d = config.first_day(); d <= config.last_day(); ++d) {
+    EXPECT_EQ(plain.gyration_national.group(0).value_or(d, -1.0),
+              traced.gyration_national.group(0).value_or(d, -1.0))
+        << d;
+    EXPECT_EQ(plain.entropy_national.group(0).value_or(d, -1.0),
+              traced.entropy_national.group(0).value_or(d, -1.0))
+        << d;
+  }
+  ASSERT_EQ(plain.homes.size(), traced.homes.size());
+  for (std::size_t i = 0; i < plain.homes.size(); ++i) {
+    EXPECT_EQ(plain.homes[i].user, traced.homes[i].user);
+    EXPECT_EQ(plain.homes[i].home_district, traced.homes[i].home_district);
+  }
+  // KPI rows: same thread count on both sides, so bitwise identical too.
+  ASSERT_EQ(plain.kpis.records().size(), traced.kpis.records().size());
+  for (std::size_t i = 0; i < plain.kpis.records().size(); ++i) {
+    const auto& a = plain.kpis.records()[i];
+    const auto& b = traced.kpis.records()[i];
+    ASSERT_EQ(a.cell, b.cell);
+    ASSERT_EQ(a.day, b.day);
+    ASSERT_EQ(a.dl_volume_mb, b.dl_volume_mb);
+    ASSERT_EQ(a.tti_utilization, b.tti_utilization);
+    ASSERT_EQ(a.voice_dl_loss_pct, b.voice_dl_loss_pct);
+  }
+  // Signaling counters identical.
+  ASSERT_EQ(plain.signaling.days().size(), traced.signaling.days().size());
+  for (std::size_t d = 0; d < plain.signaling.days().size(); ++d)
+    EXPECT_EQ(plain.signaling.days()[d].total_events(),
+              traced.signaling.days()[d].total_events());
+
+  // The traced run produced sensible accounting: per-day spans cover the
+  // simulated window and metrics line up with the dataset.
+  std::uint64_t day_spans = 0;
+  for (const auto& t : tracer().phase_totals())
+    if (t.name == "day") day_spans = t.count;
+  const auto n_days = static_cast<std::uint64_t>(config.last_day() -
+                                                 config.first_day() + 1);
+  EXPECT_EQ(day_spans, n_days);
+  // user-days covers the whole simulated population (natives + inbound
+  // roamers), one entry per user per day.
+  EXPECT_EQ(metrics().counter_value("sim.user_days"),
+            traced.population->subscribers.size() * n_days);
+  EXPECT_EQ(metrics().counter_value("probe.signaling_events"),
+            traced.signaling.events_ingested());
+}
+
+}  // namespace
+}  // namespace cellscope::obs
