@@ -1,9 +1,12 @@
-// Extension bench: seed robustness.
+// Extension bench: seed and thread-count robustness.
 //
 // Every figure bench runs one seed. This bench runs the scenario under
 // several seeds and reports the spread of the headline numbers, verifying
 // that the reproduction's conclusions are properties of the model, not of
-// one lucky random stream.
+// one lucky random stream. It also re-runs the first seed across worker
+// counts and demands BITWISE-equal headlines — the engine's determinism
+// contract (sim/pool.h), checked at figure scale.
+#include <bit>
 #include <iostream>
 
 #include "analysis/network_metrics.h"
@@ -17,10 +20,21 @@ struct Headlines {
   double gyration_trough = 0.0;
   double voice_peak = 0.0;
   double dl_trough = 0.0;
+
+  [[nodiscard]] bool bitwise_equal(const Headlines& other) const {
+    return std::bit_cast<std::uint64_t>(gyration_trough) ==
+               std::bit_cast<std::uint64_t>(other.gyration_trough) &&
+           std::bit_cast<std::uint64_t>(voice_peak) ==
+               std::bit_cast<std::uint64_t>(other.voice_peak) &&
+           std::bit_cast<std::uint64_t>(dl_trough) ==
+               std::bit_cast<std::uint64_t>(other.dl_trough);
+  }
 };
 
-Headlines measure(sim::ScenarioConfig config, std::uint64_t seed) {
+Headlines measure(sim::ScenarioConfig config, std::uint64_t seed,
+                  int worker_threads) {
   config.seed = seed;
+  config.worker_threads = worker_threads;
   config.collect_signaling = false;
   const sim::Dataset data = sim::run_scenario(config);
   Headlines h;
@@ -47,18 +61,28 @@ Headlines measure(sim::ScenarioConfig config, std::uint64_t seed) {
 
 int main() {
   auto config = bench::figure_scenario(/*with_kpis=*/true);
-  // Moderate scale so five runs stay affordable.
+  // Moderate scale so the seed sweep stays affordable.
   config.num_users = std::min<std::uint32_t>(config.num_users, 20'000);
   const std::vector<std::uint64_t> seeds = {42, 7, 1234, 99, 2020};
   std::cout << "Extension: seed stability (" << config.num_users
             << " subscribers x " << seeds.size() << " seeds)\n";
+
+  // Thread-count invariance at figure scale: the first seed, serial vs a
+  // small pool — the headline doubles must match to the last bit.
+  std::cout << "  seed " << seeds.front()
+            << " thread-invariance check (1 vs 4 workers)...\n";
+  const Headlines serial = measure(config, seeds.front(), 1);
+  const Headlines pooled = measure(config, seeds.front(), 4);
+  const bool thread_invariant = serial.bitwise_equal(pooled);
 
   stats::Running gyration, voice, dl;
   TextTable table({"seed", "gyration trough %", "voice peak %",
                    "UK DL trough %"});
   for (const auto seed : seeds) {
     std::cout << "  seed " << seed << "...\n";
-    const Headlines h = measure(config, seed);
+    const Headlines h = seed == seeds.front()
+                            ? pooled
+                            : measure(config, seed, config.worker_threads);
     table.row()
         .cell(static_cast<long long>(seed))
         .cell(h.gyration_trough)
@@ -76,6 +100,10 @@ int main() {
             << dl.max() - dl.min() << " pp\n";
 
   bench::ClaimChecker claims;
+  claims.check_text("headlines are thread-count invariant",
+                    "1 and 4 workers bitwise equal",
+                    thread_invariant ? "bitwise equal" : "DIVERGED",
+                    thread_invariant);
   claims.check_text(
       "gyration trough is deep for every seed", "always < -55%",
       bench::pct(gyration.max()), gyration.max() < -55.0);

@@ -11,8 +11,10 @@
 // machine-readable baseline the BENCH_*.json perf trajectory tracks.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/home_detection.h"
@@ -20,6 +22,7 @@
 #include "common/rng.h"
 #include "obs/runtime.h"
 #include "radio/scheduler.h"
+#include "sim/pool.h"
 
 using namespace cellscope;
 
@@ -100,6 +103,54 @@ void BM_SchedulerHour(benchmark::State& state) {
     benchmark::DoNotOptimize(scheduler.schedule_hour(cell, load, 0.4));
 }
 BENCHMARK(BM_SchedulerHour);
+
+// Dispatch-overhead comparison for the day loop's two engine designs: the
+// old per-day spawn/join of fresh std::thread objects vs one round of the
+// persistent WorkerPool (sim/pool.h). The per-item work is tiny on purpose
+// — what is measured is the cost of standing a day's fan-out up and tearing
+// it down, which the simulator pays once per simulated day.
+constexpr std::size_t kDispatchItems = 8'192;
+constexpr std::size_t kDispatchChunk = 512;
+
+void BM_DayDispatchThreadSpawn(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([w, workers, &sum] {
+        std::uint64_t local = 0;
+        for (std::size_t i = w; i < kDispatchItems; i += workers) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_DayDispatchThreadSpawn)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DayDispatchWorkerPool(benchmark::State& state) {
+  sim::WorkerPool pool{static_cast<int>(state.range(0))};
+  std::vector<std::uint64_t> partials(pool.window(), 0);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    pool.run(
+        kDispatchItems, kDispatchChunk,
+        [&partials](std::size_t, std::size_t slot, std::size_t begin,
+                    std::size_t end, int) {
+          std::uint64_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) local += i;
+          partials[slot] = local;
+        },
+        [&partials, &sum](std::size_t, std::size_t slot) {
+          sum += partials[slot];
+        });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DayDispatchWorkerPool)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_HomeDetectorObserve(benchmark::State& state) {
   Rng rng{4};

@@ -38,6 +38,26 @@ struct CellHourLoad {
   double offnet_voice_fraction = 0.0;
 };
 
+// Field-wise addition of one accumulator's (cell, hour) load into another.
+// The simulator reduces per-chunk load buffers through this in chunk-index
+// order, which makes the summation order — and therefore the float bits —
+// a function of the chunk grid alone, never of the thread count.
+// offnet_voice_fraction is a last-writer value, not a sum: the serial loop
+// overwrites it per voice event, so a merge applies `from`'s value only
+// when `from` actually carried voice.
+inline void merge_load(CellHourLoad& into, const CellHourLoad& from) {
+  into.offered_dl_mb += from.offered_dl_mb;
+  into.offered_ul_mb += from.offered_ul_mb;
+  into.active_dl_user_seconds += from.active_dl_user_seconds;
+  into.app_limited_dl_mbps += from.app_limited_dl_mbps;
+  into.connected_users += from.connected_users;
+  into.voice_dl_mb += from.voice_dl_mb;
+  into.voice_ul_mb += from.voice_ul_mb;
+  into.voice_user_seconds += from.voice_user_seconds;
+  if (from.voice_user_seconds > 0.0)
+    into.offnet_voice_fraction = from.offnet_voice_fraction;
+}
+
 // The hour's KPI record for one 4G cell (pre-aggregation; the telemetry
 // layer reduces these to per-day medians).
 struct CellHourKpi {

@@ -62,6 +62,7 @@ std::string config_digest(const ScenarioConfig& config) {
   digest.field("collect_legacy_kpis",
                static_cast<std::uint64_t>(config.collect_legacy_kpis));
   digest.field("num_users", static_cast<std::uint64_t>(config.num_users));
+  digest.field("user_chunk", static_cast<std::uint64_t>(config.user_chunk));
   digest.field("lte_time_share", config.lte_time_share);
   digest.field("kpi_reduction",
                static_cast<std::uint64_t>(config.kpi_reduction));
@@ -93,6 +94,9 @@ void ScenarioConfig::validate() const {
   if (worker_threads < 1 || worker_threads > 256)
     throw std::invalid_argument(
         "ScenarioConfig: worker_threads must be in [1, 256]");
+  if (user_chunk < 1 || user_chunk > (1u << 20))
+    throw std::invalid_argument(
+        "ScenarioConfig: user_chunk must be in [1, 2^20]");
   faults.validate();
 }
 

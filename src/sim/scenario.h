@@ -71,10 +71,17 @@ struct ScenarioConfig {
   double lte_time_share = 0.75;
 
   // Worker threads for the per-user simulation. 1 = the serial reference.
-  // Parallel runs are deterministic for a fixed thread count: mobility
-  // outputs are bit-identical to the serial run (fixed apply order); KPI
-  // sums can differ in the last float bits (per-shard partial sums).
+  // A pure runtime knob: the worker pool buffers every accumulation per
+  // user chunk and reduces chunks in index order, so any thread count
+  // produces a bit-identical Dataset (enforced by test_determinism).
   int worker_threads = 1;
+
+  // Users per work chunk. Unlike worker_threads this IS scenario identity:
+  // the chunk grid fixes the floating-point reduction order, so changing it
+  // can move KPI sums by a few ulps (and it enters config_digest). The
+  // default keeps per-chunk buffers cache-friendly at bench scale; tests
+  // shrink it to exercise many chunks on small populations.
+  std::uint32_t user_chunk = 4096;
 
   [[nodiscard]] SimDay first_day() const { return week_start_day(first_week); }
   [[nodiscard]] SimDay last_day() const {
@@ -90,9 +97,10 @@ struct ScenarioConfig {
 };
 
 // Hex FNV-1a digest of the scenario-identifying fields (seed, window,
-// scale, collection toggles, fault knobs). Two configs that describe the
-// same scenario share a digest; worker_threads is deliberately excluded —
-// it is a runtime choice, not part of the scenario identity. Run manifests
+// scale, collection toggles, chunk grid, fault knobs). Two configs that
+// describe the same scenario share a digest; worker_threads is deliberately
+// excluded — it is a runtime choice, not part of the scenario identity
+// (user_chunk, which pins the reduction order, is included). Run manifests
 // carry this so results can be matched across machines and commits.
 [[nodiscard]] std::string config_digest(const ScenarioConfig& config);
 

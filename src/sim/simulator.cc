@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 #include <vector>
 
 #include "analysis/mobility_metrics.h"
@@ -11,6 +10,7 @@
 #include "mobility/relocation.h"
 #include "mobility/trajectory.h"
 #include "radio/scheduler.h"
+#include "sim/pool.h"
 #include "traffic/demand.h"
 #include "traffic/voice.h"
 
@@ -100,13 +100,18 @@ Dataset Simulator::run() {
   obs::Tracer& tracer = obs::tracer();
   obs::MetricsRegistry& registry = obs::metrics();
   obs::MetricId m_user_days, m_observations, m_mobility, m_cells;
+  obs::MetricId m_pool_chunks, m_pool_steals;
   obs::Histogram* day_wall_hist = nullptr;
+  obs::Histogram* pool_imbalance_hist = nullptr;
   if (obs_on) {
     m_user_days = registry.counter("sim.user_days");
     m_observations = registry.counter("sim.observations");
     m_mobility = registry.counter("sim.mobility_results");
     m_cells = registry.counter("scheduler.cells_scheduled");
+    m_pool_chunks = registry.counter("pool.chunks");
+    m_pool_steals = registry.counter("pool.chunks_stolen");
     day_wall_hist = &registry.histogram("sim.day_wall_ms");
+    pool_imbalance_hist = &registry.histogram("pool.chunk_imbalance_pct");
   }
 
   Dataset ds;
@@ -245,13 +250,16 @@ Dataset Simulator::run() {
   double lte_hours = 0.0;
   double legacy_hours = 0.0;
 
-  // ---------------------------------------------------- worker contexts
+  // ---------------------------------------------------- parallel engine
   // The per-user day simulation is embarrassingly parallel: every mutable
   // per-user structure is disjoint and all randomness comes from per-user
-  // forks. Workers accumulate into private buffers; buffered results are
-  // applied serially in user-index order, so a parallel run reproduces the
-  // serial mobility outputs bit for bit (KPI sums are merged per shard and
-  // can differ from the serial run in the last float bits).
+  // forks. The pool cuts the user index space into fixed-size chunks
+  // (ScenarioConfig::user_chunk); each chunk accumulates into one of
+  // window() reusable buffers, and this thread folds completed buffers
+  // into the Dataset in ascending chunk order. Every float accumulation
+  // therefore happens in user-index order over a grid fixed by the config,
+  // so the Dataset is bit-identical for any worker_threads (src/sim/pool.h
+  // has the full contract; test_determinism enforces it).
   struct MobilityResult {
     std::uint32_t user = 0;
     double entropy = 0.0;
@@ -260,8 +268,15 @@ Dataset Simulator::run() {
     std::array<float, kFourHourBinsPerDay> bin_gyration{};
     std::uint8_t bin_mask = 0;
   };
-  struct Worker {
+  // One buffer per reorder-window slot: everything whose apply order can
+  // move float bits, or that feeds an order-sensitive consumer (the home
+  // detector, the London matrix), is staged here and drained by reduce.
+  struct ChunkBuf {
+    // Dense [cell][hour] loads plus the indexes actually touched, so a
+    // chunk that visits few cells merges and clears in O(touched) rather
+    // than O(n_cells * 24).
     std::vector<radio::CellHourLoad> loads;
+    std::vector<std::uint32_t> dirty;
     std::array<double, kHoursPerDay> offnet{};
     double roamers = 0.0;
     double lte_hours = 0.0;
@@ -269,36 +284,33 @@ Dataset Simulator::run() {
     std::vector<MobilityResult> mobility;
     std::vector<telemetry::UserDayObservation> detector_obs;
     std::vector<telemetry::UserDayObservation> matrix_obs;
-    telemetry::SignalingProbe probe;
     // Per-day observation-feed accounting (faulted runs only).
     std::uint64_t obs_expected = 0;
     std::uint64_t obs_observed = 0;
+  };
+  // Per-worker state: streams whose merge is integer-exact and therefore
+  // order-free (probe/sink counters, metric deltas), plus reusable scratch.
+  // Nothing here can move a float bit.
+  struct WorkerCtx {
+    telemetry::SignalingProbe probe;
     // Private metric deltas, folded into the registry at day end.
     obs::MetricsShard metrics;
+    telemetry::UserDayObservation observation;  // scratch
+    std::vector<traffic::CellStay> cell_stays;  // scratch
   };
-  const int n_workers = config_.worker_threads;
-  std::vector<Worker> workers(static_cast<std::size_t>(n_workers));
-  for (auto& w : workers) w.loads.assign(n_cells * kHoursPerDay, {});
+
+  // One pool per run: worker threads are created here and parked between
+  // days — the per-day thread create/join of the previous engine is gone.
+  WorkerPool pool{config_.worker_threads};
+  const auto chunk_size = static_cast<std::size_t>(config_.user_chunk);
+  const std::size_t n_chunks = (n_users + chunk_size - 1) / chunk_size;
+  std::vector<ChunkBuf> chunk_bufs(pool.window());
+  std::vector<WorkerCtx> workers(static_cast<std::size_t>(pool.workers()));
   // Per-worker signaling sinks: events pass through the outage filter on
   // their way into the worker's probe (a disabled plan forwards everything).
   std::vector<FilteredSignalingSink> sinks;
   sinks.reserve(workers.size());
   for (auto& w : workers) sinks.emplace_back(fault_plan, w.probe);
-
-  // Field-wise addition of a shard's cell-hour loads into the shared array.
-  const auto merge_load = [](radio::CellHourLoad& into,
-                             const radio::CellHourLoad& from) {
-    into.offered_dl_mb += from.offered_dl_mb;
-    into.offered_ul_mb += from.offered_ul_mb;
-    into.active_dl_user_seconds += from.active_dl_user_seconds;
-    into.app_limited_dl_mbps += from.app_limited_dl_mbps;
-    into.connected_users += from.connected_users;
-    into.voice_dl_mb += from.voice_dl_mb;
-    into.voice_ul_mb += from.voice_ul_mb;
-    into.voice_user_seconds += from.voice_user_seconds;
-    if (from.voice_user_seconds > 0.0)
-      into.offnet_voice_fraction = from.offnet_voice_fraction;
-  };
 
   // ------------------------------------------------------------- main loop
   for (SimDay day = first_day; day <= last_day; ++day) {
@@ -329,32 +341,32 @@ Dataset Simulator::run() {
     const bool collect_homes = !homes_finalized;
     const bool track_matrix = ds.london_matrix != nullptr;
 
-    // Reset per-day worker state.
-    for (auto& w : workers) {
-      if (kpi_day) {
-        std::fill(w.loads.begin(), w.loads.end(), radio::CellHourLoad{});
-        w.offnet.fill(0.0);
-      }
-      w.roamers = 0.0;
-      w.mobility.clear();
-      w.detector_obs.clear();
-      w.matrix_obs.clear();
-      w.obs_expected = 0;
-      w.obs_observed = 0;
+    // Chunk-load buffers are sized lazily on the first KPI day; reduction
+    // leaves every buffer cleared, so there is no other per-day reset.
+    if (kpi_day && chunk_bufs[0].loads.empty())
+      for (auto& b : chunk_bufs) b.loads.assign(n_cells * kHoursPerDay, {});
+    // Day accumulators drained by the chunk-order reduction below.
+    double roamers_today = 0.0;
+    std::uint64_t obs_expected_today = 0;
+    std::uint64_t obs_observed_today = 0;
+    if (kpi_day) {
+      std::fill(hour_loads.begin(), hour_loads.end(),
+                radio::CellHourLoad{});
+      offnet_minutes.fill(0.0);
     }
     // Hour filtering only matters on days with an actual outage window.
     const bool sig_out_today =
         faults_on && fault_plan.signaling_down_hours(day) > 0;
 
-    // --- Per-user simulation (runs inside a worker thread; writes only to
-    // its Worker and to the user's own state/places). ---
-    const auto process_user = [&](std::size_t i, Worker& w,
-                                  traffic::SignalingSink& sink,
-                                  telemetry::UserDayObservation& observation,
-                                  std::vector<traffic::CellStay>& cell_stays) {
+    // --- Per-user simulation (runs inside a pool worker; writes only to
+    // its chunk buffer, its WorkerCtx and the user's own state/places). ---
+    const auto process_user = [&](std::size_t i, ChunkBuf& b, WorkerCtx& ctx,
+                                  traffic::SignalingSink& sink) {
+      telemetry::UserDayObservation& observation = ctx.observation;
+      std::vector<traffic::CellStay>& cell_stays = ctx.cell_stays;
       const population::Subscriber& user = subscribers[i];
       mobility::UserState& state = user_states[i];
-      if (obs_on) w.metrics.add(m_user_days);
+      if (obs_on) ctx.metrics.add(m_user_days);
       Rng rng = root.fork("user-day", i * 1024 + static_cast<std::size_t>(day));
 
       relocation.maybe_decide(user, user_places[i], state, day, rng);
@@ -367,10 +379,10 @@ Dataset Simulator::run() {
         plan = trajectories.plan_day(user, user_places[i], state, day, rng);
       }
       if (plan.empty()) return;
-      if (!user.native) w.roamers += 1.0;
+      if (!user.native) b.roamers += 1.0;
 
       // --- Build the tower-level observation (merge stays per site). ---
-      if (obs_on) w.metrics.add(m_observations);
+      if (obs_on) ctx.metrics.add(m_observations);
       observation.user = user.id;
       observation.day = day;
       observation.stays.clear();
@@ -427,18 +439,18 @@ Dataset Simulator::run() {
       // home detection, mobility metrics and the relocation matrix alike.
       bool feed_visible = true;
       if (faults_on && eligible) {
-        ++w.obs_expected;
+        ++b.obs_expected;
         if (observation.stays.empty() ||
             fault_plan.drop_observation(static_cast<std::uint32_t>(i), day))
           feed_visible = false;
         else
-          ++w.obs_observed;
+          ++b.obs_observed;
       }
       if (eligible && feed_visible) {
-        if (collect_homes) w.detector_obs.push_back(observation);
+        if (collect_homes) b.detector_obs.push_back(observation);
         // Mobility metrics, grouped by residence (Section 2.3 aggregates at
-        // home-postcode granularity and up). Buffered; applied in
-        // user-index order after the join.
+        // home-postcode granularity and up). Buffered per chunk; applied in
+        // user-index order by the chunk reduction.
         if (const auto metrics = analysis::compute_day_metrics(observation)) {
           MobilityResult result;
           result.user = static_cast<std::uint32_t>(i);
@@ -458,11 +470,11 @@ Dataset Simulator::run() {
               }
             }
           }
-          w.mobility.push_back(result);
-          if (obs_on) w.metrics.add(m_mobility);
+          b.mobility.push_back(result);
+          if (obs_on) ctx.metrics.add(m_mobility);
         }
         if (track_matrix && tracked_london[i])
-          w.matrix_obs.push_back(observation);
+          b.matrix_obs.push_back(observation);
       }
 
       // --- Traffic and signaling. ---
@@ -483,9 +495,9 @@ Dataset Simulator::run() {
           const bool on_lte =
               !pc.site_has_legacy || rng.chance(config_.lte_time_share);
           if (on_lte) {
-            w.lte_hours += 1.0;
+            b.lte_hours += 1.0;
           } else {
-            w.legacy_hours += 1.0;
+            b.legacy_hours += 1.0;
           }
 
           const auto voice = voice_model.sample_hour(user, day, h, rng);
@@ -493,7 +505,7 @@ Dataset Simulator::run() {
             ++voice_calls;
             // All off-net conversational minutes (any RAT) cross the
             // inter-MNO trunks.
-            w.offnet[static_cast<std::size_t>(h)] +=
+            b.offnet[static_cast<std::size_t>(h)] +=
                 voice.minutes * voice.offnet_fraction;
           }
 
@@ -522,8 +534,13 @@ Dataset Simulator::run() {
             }
           }
 
-          auto& load = w.loads[serving.value() * kHoursPerDay +
-                               static_cast<std::size_t>(h)];
+          const std::size_t load_index =
+              serving.value() * kHoursPerDay + static_cast<std::size_t>(h);
+          auto& load = b.loads[load_index];
+          // connected_users is always a (cell, hour)'s first touch, so a
+          // zero count means this chunk has not dirtied the slot yet.
+          if (load.connected_users == 0.0)
+            b.dirty.push_back(static_cast<std::uint32_t>(load_index));
           load.connected_users += 1.0;
           const auto demand = demand_model.sample_hour(
               user, context, day, h, rng,
@@ -551,57 +568,40 @@ Dataset Simulator::run() {
       }
     };
 
-    const auto run_range = [&](std::size_t begin, std::size_t end,
-                               std::size_t worker_index) {
-      // One span per worker shard, on the worker's own display lane.
-      const auto shard_span =
-          tracer.span("day.users.shard", "worker", day,
-                      static_cast<std::uint32_t>(worker_index + 1));
-      Worker& w = workers[worker_index];
-      FilteredSignalingSink& sink = sinks[worker_index];
-      telemetry::UserDayObservation observation;
-      std::vector<traffic::CellStay> cell_stays;
-      for (std::size_t i = begin; i < end; ++i)
-        process_user(i, w, sink, observation, cell_stays);
+    // Work runs on a pool worker (or inline when worker_threads == 1) and
+    // touches only its chunk buffer, its WorkerCtx and per-user state.
+    const auto work = [&](std::size_t chunk, std::size_t slot,
+                          std::size_t begin, std::size_t end,
+                          std::size_t worker) {
+      (void)chunk;
+      // One span per chunk, on the executing worker's display lane.
+      const auto chunk_span =
+          tracer.span("day.users.chunk", "worker", day,
+                      static_cast<std::uint32_t>(worker + 1));
+      ChunkBuf& b = chunk_bufs[slot];
+      WorkerCtx& ctx = workers[worker];
+      FilteredSignalingSink& sink = sinks[worker];
+      for (std::size_t i = begin; i < end; ++i) process_user(i, b, ctx, sink);
     };
 
-    {
-      const auto users_span = tracer.span("day.users", "sim", day);
-      if (n_workers == 1) {
-        run_range(0, n_users, 0);
-      } else {
-        std::vector<std::thread> threads;
-        threads.reserve(static_cast<std::size_t>(n_workers));
-        for (int t = 0; t < n_workers; ++t) {
-          const std::size_t begin =
-              n_users * static_cast<std::size_t>(t) /
-              static_cast<std::size_t>(n_workers);
-          const std::size_t shard_end =
-              n_users * static_cast<std::size_t>(t + 1) /
-              static_cast<std::size_t>(n_workers);
-          threads.emplace_back(run_range, begin, shard_end,
-                               static_cast<std::size_t>(t));
-        }
-        for (auto& thread : threads) thread.join();
-      }
-    }
-
-    // --- Apply buffered results serially, shard order == user order. ---
-    auto apply_span = tracer.span("day.apply", "sim", day);
-    double roamers_today = 0.0;
-    if (kpi_day) {
-      std::fill(hour_loads.begin(), hour_loads.end(),
-                radio::CellHourLoad{});
-      offnet_minutes.fill(0.0);
-    }
-    for (auto& w : workers) {
-      roamers_today += w.roamers;
-      lte_hours += w.lte_hours;
-      legacy_hours += w.legacy_hours;
-      w.lte_hours = 0.0;
-      w.legacy_hours = 0.0;
-      for (const auto& obs : w.detector_obs) home_detector.observe(obs);
-      for (const auto& result : w.mobility) {
+    // Reduce runs on this thread in ascending chunk order — the only
+    // writer of Dataset and day state — and leaves the slot cleared.
+    const auto reduce = [&](std::size_t chunk, std::size_t slot) {
+      (void)chunk;
+      ChunkBuf& b = chunk_bufs[slot];
+      roamers_today += b.roamers;
+      lte_hours += b.lte_hours;
+      legacy_hours += b.legacy_hours;
+      obs_expected_today += b.obs_expected;
+      obs_observed_today += b.obs_observed;
+      b.roamers = 0.0;
+      b.lte_hours = 0.0;
+      b.legacy_hours = 0.0;
+      b.obs_expected = 0;
+      b.obs_observed = 0;
+      for (const auto& obs : b.detector_obs) home_detector.observe(obs);
+      b.detector_obs.clear();
+      for (const auto& result : b.mobility) {
         const population::Subscriber& user = subscribers[result.user];
         if (config_.collect_binned_mobility) {
           for (int bin = 0; bin < kFourHourBinsPerDay; ++bin) {
@@ -627,16 +627,32 @@ Dataset Simulator::run() {
         ds.entropy_by_cluster.add(cluster, day, result.entropy);
         ds.gyration_by_cluster.add(cluster, day, result.gyration);
       }
-      for (const auto& obs : w.matrix_obs) ds.london_matrix->observe(obs);
+      b.mobility.clear();
+      for (const auto& obs : b.matrix_obs) ds.london_matrix->observe(obs);
+      b.matrix_obs.clear();
       if (kpi_day) {
-        for (std::size_t k = 0; k < hour_loads.size(); ++k)
-          merge_load(hour_loads[k], w.loads[k]);
+        for (const auto load_index : b.dirty) {
+          radio::merge_load(hour_loads[load_index], b.loads[load_index]);
+          b.loads[load_index] = radio::CellHourLoad{};
+        }
+        b.dirty.clear();
         for (int h = 0; h < kHoursPerDay; ++h)
           offnet_minutes[static_cast<std::size_t>(h)] +=
-              w.offnet[static_cast<std::size_t>(h)];
+              b.offnet[static_cast<std::size_t>(h)];
+        b.offnet.fill(0.0);
       }
+    };
+
+    {
+      // "day.users" now covers the fan-out *and* the in-flight reduction:
+      // completed chunks fold into the Dataset while later chunks are
+      // still being simulated.
+      const auto users_span = tracer.span("day.users", "sim", day);
+      pool.run(n_users, chunk_size, work, reduce);
     }
 
+    // --- Serial tail: everything left after the chunk reduction. ---
+    auto apply_span = tracer.span("day.apply", "sim", day);
     ds.roamers_active.set(day, roamers_today);
     ds.gyration_distribution.seal_day(day);
     ds.entropy_distribution.seal_day(day);
@@ -644,14 +660,8 @@ Dataset Simulator::run() {
     // Quality accounting for the signaling-derived feeds (faulted runs
     // only; a clean run keeps the report empty and its output untouched).
     if (faults_on) {
-      std::uint64_t obs_expected = 0;
-      std::uint64_t obs_observed = 0;
-      for (const auto& w : workers) {
-        obs_expected += w.obs_expected;
-        obs_observed += w.obs_observed;
-      }
-      ds.quality.expect("user-observations", day, obs_expected);
-      ds.quality.observe("user-observations", day, obs_observed);
+      ds.quality.expect("user-observations", day, obs_expected_today);
+      ds.quality.observe("user-observations", day, obs_observed_today);
       if (config_.collect_signaling) {
         std::uint64_t forwarded = 0;
         std::uint64_t dropped = 0;
@@ -744,9 +754,27 @@ Dataset Simulator::run() {
     }
 
     // Fold worker metric deltas into the registry at day (phase) end and
-    // account the day's wall time.
+    // account the day's wall time plus the pool's balance record.
     if (obs_on) {
       for (auto& w : workers) registry.merge(w.metrics);
+      registry.add(m_pool_chunks, n_chunks);
+      const auto& per_worker = pool.chunks_per_worker();
+      // "Stolen" chunks: work a worker pulled beyond the static fair share
+      // a shard-per-thread engine would have pinned on it.
+      const std::uint64_t fair_share =
+          (n_chunks + per_worker.size() - 1) / per_worker.size();
+      std::uint64_t stolen = 0;
+      std::uint64_t busiest = per_worker[0];
+      std::uint64_t laziest = per_worker[0];
+      for (const auto count : per_worker) {
+        if (count > fair_share) stolen += count - fair_share;
+        busiest = std::max(busiest, count);
+        laziest = std::min(laziest, count);
+      }
+      registry.add(m_pool_steals, stolen);
+      pool_imbalance_hist->record(100.0 *
+                                  static_cast<double>(busiest - laziest) /
+                                  static_cast<double>(n_chunks));
       day_wall_hist->record(
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - day_clock_start)

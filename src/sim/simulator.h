@@ -13,6 +13,10 @@
 //      cell's hourly KPIs, and the aggregator reduces them to daily medians;
 //   4. signaling events stream into the passive probe.
 //
+// The per-user work fans out over a persistent worker pool (sim/pool.h)
+// that reduces fixed-size user chunks in index order, so the returned
+// Dataset is bit-identical for any worker_threads setting.
+//
 // The returned Dataset owns everything a bench or example reads.
 #pragma once
 

@@ -1,0 +1,148 @@
+// Golden-figure regression fixtures.
+//
+// A small scenario is rendered into the paper's two headline figure shapes
+// — Fig 3 (national mobility deltas) and Fig 8 (regional network KPI
+// deltas) — serialized with full double precision (%.17g) and compared
+// BYTE-exactly against the CSVs committed under tests/golden/. With the
+// engine's determinism contract (bit-identical Datasets for any
+// worker_threads, -ffp-contract=off pinned globally) the comparison is
+// exact across build types and sanitizers; any bit drift in the models, the
+// RNG stream layout or the reduction order fails this test before it can
+// silently move a published figure.
+//
+// Regenerating (ONLY after an intentional model or reduction change, with
+// the diff reviewed like source):
+//
+//   CELLSCOPE_UPDATE_GOLDEN=1 ./build/tests/test_golden_figures
+//
+// rewrites tests/golden/*.csv in the source tree; commit the result. The
+// fixtures are generated on the machine that commits them — cross-machine
+// libm differences would show up here as a full-file diff, not a bug.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/network_metrics.h"
+#include "sim/simulator.h"
+
+namespace cellscope::sim {
+namespace {
+
+// Small but non-trivial: ~17 sites, two workers, a chunk grid with several
+// chunks — the golden bytes cover the parallel engine, not a toy path.
+ScenarioConfig golden_config() {
+  ScenarioConfig config = default_scenario();
+  config.num_users = 2'000;
+  config.seed = 20'200'407;
+  config.user_chunk = 512;
+  config.worker_threads = 2;
+  config.topology.users_per_site = 120.0;
+  config.collect_signaling = false;
+  return config;
+}
+
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Fig 3: per-day % change of national gyration/entropy vs the week-9 mean.
+std::string fig03_csv(const Dataset& data) {
+  std::ostringstream out;
+  out << "day,gyration_delta_pct,entropy_delta_pct\n";
+  const auto gyration =
+      data.gyration_national.daily_delta(0, data.gyration_baseline());
+  const auto entropy =
+      data.entropy_national.daily_delta(0, data.entropy_baseline());
+  EXPECT_EQ(gyration.size(), entropy.size());
+  for (std::size_t i = 0; i < gyration.size() && i < entropy.size(); ++i) {
+    EXPECT_EQ(gyration[i].day, entropy[i].day);
+    out << gyration[i].day << ',' << fmt(gyration[i].value) << ','
+        << fmt(entropy[i].value) << '\n';
+  }
+  return out.str();
+}
+
+// Fig 8: weekly-median % change per KPI metric and region group.
+std::string fig08_csv(const Dataset& data) {
+  static constexpr telemetry::KpiMetric kMetrics[] = {
+      telemetry::KpiMetric::kDlVolume,
+      telemetry::KpiMetric::kUlVolume,
+      telemetry::KpiMetric::kActiveDlUsers,
+      telemetry::KpiMetric::kTtiUtilization,
+      telemetry::KpiMetric::kUserDlThroughput,
+      telemetry::KpiMetric::kVoiceVolume,
+  };
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+  std::ostringstream out;
+  out << "metric,group,week,delta_pct\n";
+  for (const auto metric : kMetrics) {
+    const analysis::KpiGroupSeries series{data.kpis, grouping, metric};
+    for (std::size_t g = 0; g < series.group_count(); ++g) {
+      for (const auto& point : series.weekly_delta(g, 9, 9, 19)) {
+        out << telemetry::kpi_metric_name(metric) << ',' << grouping.names[g]
+            << ',' << point.week << ',' << fmt(point.value) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(CELLSCOPE_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (const char* update = std::getenv("CELLSCOPE_UPDATE_GOLDEN");
+      update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path << " (" << actual.size()
+                 << " bytes) — review and commit the diff";
+  }
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in.good())
+      << "missing golden fixture " << path
+      << " — generate with CELLSCOPE_UPDATE_GOLDEN=1 and commit it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << name
+      << " drifted from its golden fixture. If the change is intentional, "
+         "regenerate with CELLSCOPE_UPDATE_GOLDEN=1 and commit the diff.";
+}
+
+class GoldenFigures : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Dataset(run_scenario(golden_config()));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const Dataset& data() { return *data_; }
+
+ private:
+  static const Dataset* data_;
+};
+const Dataset* GoldenFigures::data_ = nullptr;
+
+TEST_F(GoldenFigures, Fig03NationalMobilityMatchesByteExactly) {
+  check_golden("fig03_national_mobility.csv", fig03_csv(data()));
+}
+
+TEST_F(GoldenFigures, Fig08NetworkKpisMatchesByteExactly) {
+  check_golden("fig08_network_kpis.csv", fig08_csv(data()));
+}
+
+}  // namespace
+}  // namespace cellscope::sim

@@ -2,14 +2,21 @@
 // (seeded) inputs, swept with parameterized suites.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "analysis/mobility_metrics.h"
 #include "mobility/relocation.h"
 #include "mobility/trajectory.h"
+#include "obs/metrics.h"
 #include "population/generator.h"
 #include "radio/scheduler.h"
 #include "radio/topology.h"
+#include "sim/pool.h"
 
 namespace cellscope {
 namespace {
@@ -203,6 +210,248 @@ TEST_P(TopologyPropertyTest, ServingCellAlwaysResolvesInDistrict) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, TopologyPropertyTest,
                          ::testing::Values(5'000u, 20'000u, 60'000u));
+
+// ---------------------------------------------------------------------
+// Chunked-reduction invariants behind the simulator's determinism contract
+// (sim/pool.h): the cursor hands out each chunk exactly once under racing
+// claimants, the pool reduces chunks in strictly ascending order on the
+// calling thread, and chunk-order merges reproduce a single-chunk fold.
+
+// Raw concurrent claimants (no pool): every index in [0, total) is claimed
+// by exactly one thread. Runs under the TSan CI job.
+class ChunkCursorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkCursorPropertyTest, EveryChunkClaimedExactlyOnce) {
+  const int n_threads = GetParam();
+  constexpr std::size_t kTotal = 10'000;
+  sim::ChunkCursor cursor{kTotal};
+  std::vector<std::vector<std::size_t>> claimed(
+      static_cast<std::size_t>(n_threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t chunk = 0;
+      while (cursor.next(chunk))
+        claimed[static_cast<std::size_t>(t)].push_back(chunk);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<int> seen(kTotal, 0);
+  for (const auto& mine : claimed) {
+    std::size_t previous = 0;
+    bool first = true;
+    for (const std::size_t chunk : mine) {
+      ASSERT_LT(chunk, kTotal);
+      ++seen[chunk];
+      // Claims are monotone per thread (the window gate relies on this).
+      if (!first) {
+        EXPECT_GT(chunk, previous);
+      }
+      previous = chunk;
+      first = false;
+    }
+  }
+  for (std::size_t c = 0; c < kTotal; ++c)
+    EXPECT_EQ(seen[c], 1) << "chunk " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChunkCursorPropertyTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// Pool handoff: every item is worked exactly once, reduce sees chunks in
+// strictly ascending order, and a slot is never overwritten before the
+// reduction that frees it (the stamp check). Runs under the TSan CI job.
+class WorkerPoolPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerPoolPropertyTest, ReducesEveryChunkInOrder) {
+  constexpr std::size_t kItems = 1'003;
+  constexpr std::size_t kChunk = 17;
+  const std::size_t n_chunks = (kItems + kChunk - 1) / kChunk;
+  sim::WorkerPool pool{GetParam()};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::size_t> slot_stamp(pool.window(), ~std::size_t{0});
+    std::vector<std::size_t> reduced_order;
+    std::vector<int> item_seen(kItems, 0);
+    std::size_t items_reduced = 0;
+    pool.run(
+        kItems, kChunk,
+        [&](std::size_t chunk, std::size_t slot, std::size_t begin,
+            std::size_t end, std::size_t worker) {
+          ASSERT_LT(worker, static_cast<std::size_t>(pool.workers()));
+          ASSERT_EQ(begin, chunk * kChunk);
+          ASSERT_EQ(end, std::min(begin + kChunk, kItems));
+          slot_stamp[slot] = chunk;
+          for (std::size_t i = begin; i < end; ++i) ++item_seen[i];
+        },
+        [&](std::size_t chunk, std::size_t slot) {
+          // The slot still carries this chunk's stamp: nobody reused it
+          // before this reduction released it.
+          EXPECT_EQ(slot_stamp[slot], chunk);
+          reduced_order.push_back(chunk);
+          items_reduced += std::min(chunk * kChunk + kChunk, kItems) -
+                           chunk * kChunk;
+        });
+
+    ASSERT_EQ(reduced_order.size(), n_chunks) << "round " << round;
+    for (std::size_t c = 0; c < n_chunks; ++c)
+      EXPECT_EQ(reduced_order[c], c) << "round " << round;
+    EXPECT_EQ(items_reduced, kItems);
+    for (std::size_t i = 0; i < kItems; ++i)
+      EXPECT_EQ(item_seen[i], 1) << "item " << i;
+    // Dynamic pulling accounts every chunk to exactly one worker.
+    std::uint64_t total = 0;
+    for (const auto count : pool.chunks_per_worker()) total += count;
+    EXPECT_EQ(total, n_chunks);
+  }
+  EXPECT_EQ(pool.runs(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerPoolPropertyTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+// Chunk-order merge_load folds equal a single serial fold, for ANY chunk
+// partition, when the addends are exactly representable (dyadic rationals:
+// k/64 with k in [0, 1024]). This is the algebraic core of the determinism
+// contract — the simulator's bits depend on the chunk grid only through
+// rounding, which this test removes to isolate the merge semantics
+// (including the offnet_voice_fraction last-writer rule).
+class ChunkMergePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ChunkMergePropertyTest, AnyPartitionMatchesSerialFold) {
+  Rng rng{GetParam()};
+  constexpr std::size_t kItems = 500;
+  std::vector<radio::CellHourLoad> items(kItems);
+  const auto dyadic = [&] {
+    return static_cast<double>(rng.uniform_int(0, 1024)) / 64.0;
+  };
+  for (auto& item : items) {
+    item.offered_dl_mb = dyadic();
+    item.offered_ul_mb = dyadic();
+    item.active_dl_user_seconds = dyadic();
+    item.app_limited_dl_mbps = dyadic();
+    item.connected_users = 1.0;
+    if (rng.chance(0.3)) {
+      item.voice_dl_mb = dyadic();
+      item.voice_ul_mb = dyadic();
+      item.voice_user_seconds = 1.0 + dyadic();
+      item.offnet_voice_fraction = dyadic() / 16.0;
+    }
+  }
+
+  radio::CellHourLoad serial;
+  for (const auto& item : items) radio::merge_load(serial, item);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    radio::CellHourLoad total;
+    std::size_t begin = 0;
+    while (begin < kItems) {
+      const std::size_t size =
+          std::min<std::size_t>(1 + rng.uniform_index(40), kItems - begin);
+      radio::CellHourLoad partial;
+      for (std::size_t i = begin; i < begin + size; ++i)
+        radio::merge_load(partial, items[i]);
+      radio::merge_load(total, partial);
+      begin += size;
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.offered_dl_mb),
+              std::bit_cast<std::uint64_t>(total.offered_dl_mb));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.offered_ul_mb),
+              std::bit_cast<std::uint64_t>(total.offered_ul_mb));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.active_dl_user_seconds),
+              std::bit_cast<std::uint64_t>(total.active_dl_user_seconds));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.app_limited_dl_mbps),
+              std::bit_cast<std::uint64_t>(total.app_limited_dl_mbps));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.connected_users),
+              std::bit_cast<std::uint64_t>(total.connected_users));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.voice_user_seconds),
+              std::bit_cast<std::uint64_t>(total.voice_user_seconds));
+    // Last writer with voice wins, independent of the partition.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.offnet_voice_fraction),
+              std::bit_cast<std::uint64_t>(total.offnet_voice_fraction));
+  }
+}
+
+TEST_P(ChunkMergePropertyTest, HourArrayPartitionSumsAreExact) {
+  Rng rng{GetParam() + 17};
+  constexpr std::size_t kItems = 400;
+  std::vector<std::array<double, kHoursPerDay>> items(kItems);
+  for (auto& item : items)
+    for (auto& v : item)
+      v = static_cast<double>(rng.uniform_int(0, 4096)) / 128.0;
+
+  std::array<double, kHoursPerDay> serial{};
+  for (const auto& item : items)
+    for (int h = 0; h < kHoursPerDay; ++h)
+      serial[static_cast<std::size_t>(h)] += item[static_cast<std::size_t>(h)];
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::array<double, kHoursPerDay> total{};
+    std::size_t begin = 0;
+    while (begin < kItems) {
+      const std::size_t size =
+          std::min<std::size_t>(1 + rng.uniform_index(64), kItems - begin);
+      std::array<double, kHoursPerDay> partial{};
+      for (std::size_t i = begin; i < begin + size; ++i)
+        for (int h = 0; h < kHoursPerDay; ++h)
+          partial[static_cast<std::size_t>(h)] +=
+              items[i][static_cast<std::size_t>(h)];
+      for (int h = 0; h < kHoursPerDay; ++h)
+        total[static_cast<std::size_t>(h)] +=
+            partial[static_cast<std::size_t>(h)];
+      begin += size;
+    }
+    for (int h = 0; h < kHoursPerDay; ++h)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                    serial[static_cast<std::size_t>(h)]),
+                std::bit_cast<std::uint64_t>(
+                    total[static_cast<std::size_t>(h)]))
+          << "hour " << h;
+  }
+}
+
+// Counter deltas merged shard-by-shard equal a single-shard fold for any
+// partition of the increments (uint64 addition is associative).
+TEST_P(ChunkMergePropertyTest, MetricsShardPartitionsAreExact) {
+  Rng rng{GetParam() + 99};
+  obs::MetricsRegistry registry;
+  const obs::MetricId a = registry.counter("prop.a");
+  const obs::MetricId b = registry.counter("prop.b");
+
+  constexpr std::size_t kIncrements = 2'000;
+  std::vector<std::pair<obs::MetricId, std::uint64_t>> increments;
+  increments.reserve(kIncrements);
+  std::uint64_t expect_a = 0;
+  std::uint64_t expect_b = 0;
+  for (std::size_t i = 0; i < kIncrements; ++i) {
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(0, 9));
+    if (rng.chance(0.5)) {
+      increments.emplace_back(a, n);
+      expect_a += n;
+    } else {
+      increments.emplace_back(b, n);
+      expect_b += n;
+    }
+  }
+
+  std::size_t begin = 0;
+  while (begin < kIncrements) {
+    const std::size_t size =
+        std::min<std::size_t>(1 + rng.uniform_index(300), kIncrements - begin);
+    obs::MetricsShard shard;
+    for (std::size_t i = begin; i < begin + size; ++i)
+      shard.add(increments[i].first, increments[i].second);
+    registry.merge(shard);
+    begin += size;
+  }
+  EXPECT_EQ(registry.counter_value("prop.a"), expect_a);
+  EXPECT_EQ(registry.counter_value("prop.b"), expect_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkMergePropertyTest,
+                         ::testing::Values(1u, 7u, 99u));
 
 }  // namespace
 }  // namespace cellscope
