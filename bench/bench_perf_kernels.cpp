@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "obs/runtime.h"
 #include "radio/scheduler.h"
 #include "sim/pool.h"
+#include "store/shard.h"
 
 using namespace cellscope;
 
@@ -151,6 +153,106 @@ void BM_DayDispatchWorkerPool(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DayDispatchWorkerPool)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// cellstore throughput over a KPI-shaped feed (2 delta-varint id columns +
+// 11 raw64 metric columns — the store's dominant feed). Items = rows,
+// bytes = on-disk feed bytes, so the JSON report carries rows/s and MB/s.
+std::vector<store::Encoding> kpi_like_schema() {
+  std::vector<store::Encoding> schema{store::Encoding::kDeltaZigzagVarint,
+                                      store::Encoding::kDeltaZigzagVarint};
+  for (int m = 0; m < 11; ++m) schema.push_back(store::Encoding::kRaw64);
+  return schema;
+}
+
+struct KpiShapedRow {
+  std::int64_t day = 0;
+  std::int64_t cell = 0;
+  double metrics[11] = {};
+};
+
+std::vector<KpiShapedRow> make_kpi_shaped_rows(std::size_t n) {
+  Rng rng{11};
+  std::vector<KpiShapedRow> rows(n);
+  constexpr std::int64_t kCells = 512;  // day-major, cell-ascending layout
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i].day = static_cast<std::int64_t>(i) / kCells;
+    rows[i].cell = static_cast<std::int64_t>(i) % kCells;
+    for (auto& m : rows[i].metrics) m = rng.uniform(0.0, 500.0);
+  }
+  return rows;
+}
+
+std::string bench_store_path() {
+  return (std::filesystem::temp_directory_path() / "cellscope_bench_kpis.csf")
+      .string();
+}
+
+std::uint64_t write_kpi_shaped_feed(const std::string& path,
+                                    const std::vector<KpiShapedRow>& rows) {
+  store::FeedFileWriter writer{path, kpi_like_schema()};
+  for (const auto& r : rows) {
+    writer.i64(0, r.day);
+    writer.i64(1, r.cell);
+    for (int m = 0; m < 11; ++m)
+      writer.f64(static_cast<std::size_t>(2 + m), r.metrics[m]);
+    writer.end_row(r.day);
+  }
+  return writer.close();
+}
+
+void BM_StoreWriteKpis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rows = make_kpi_shaped_rows(n);
+  const std::string path = bench_store_path();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    bytes = write_kpi_shaped_feed(path, rows);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StoreWriteKpis)->Arg(16'384)->Arg(131'072);
+
+void BM_StoreReadKpis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string path = bench_store_path();
+  const std::uint64_t bytes =
+      write_kpi_shaped_feed(path, make_kpi_shaped_rows(n));
+  for (auto _ : state) {
+    store::FeedFileReader reader{path};
+    double sum = 0.0;
+    std::uint64_t rows_read = 0;
+    for (const auto& shard : reader.shards()) {
+      store::ColumnCursor days{shard.columns[0]};
+      store::ColumnCursor cells{shard.columns[1]};
+      std::vector<store::ColumnCursor> metrics;
+      for (int m = 0; m < 11; ++m)
+        metrics.emplace_back(shard.columns[static_cast<std::size_t>(2 + m)]);
+      for (std::uint64_t i = 0; i < shard.rows; ++i) {
+        std::int64_t day = 0, cell = 0;
+        double value = 0.0;
+        if (!days.next_i64(day) || !cells.next_i64(cell)) break;
+        for (auto& cursor : metrics) {
+          cursor.next_f64(value);
+          sum += value;
+        }
+        ++rows_read;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(rows_read);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StoreReadKpis)->Arg(16'384)->Arg(131'072);
 
 void BM_HomeDetectorObserve(benchmark::State& state) {
   Rng rng{4};

@@ -13,6 +13,11 @@
 //                            and writes <slug>.trace.json (Chrome trace),
 //                            <slug>.phases.csv and <slug>.manifest.json
 //                            into that directory (see docs/OBSERVABILITY.md)
+//   CELLSCOPE_STORE_DIR      when set, simulate once / replay many: the
+//                            run's dataset is cached as a cellstore under
+//                            <dir>/<config-digest>/ and later runs of the
+//                            same scenario replay it bitwise-identically
+//                            instead of re-simulating (see docs/STORAGE.md)
 // Malformed numeric overrides exit with status 2 and a one-line error.
 #pragma once
 
@@ -32,6 +37,7 @@
 #include "obs/manifest.h"
 #include "obs/runtime.h"
 #include "sim/simulator.h"
+#include "store/dataset_io.h"
 
 namespace cellscope::bench {
 
@@ -168,6 +174,32 @@ inline void write_obs_outputs(const std::string& slug,
             << dir << "/ (" << slug << ".{trace.json,phases.csv,manifest.json})\n";
 }
 
+// Simulate once, replay many: with CELLSCOPE_STORE_DIR set, look for a
+// cellstore written by a previous run of the *same* scenario (keyed by the
+// config digest, which covers every model parameter and the fault plan but
+// not the thread count) and replay it instead of simulating. A cache miss,
+// digest mismatch or degraded/corrupt store falls back to simulating — and
+// writes the store for next time. Replay is bitwise-identical to the
+// simulation it replaces (test_store_replay), so cached benches print the
+// exact same figures.
+inline sim::Dataset load_or_run(const sim::ScenarioConfig& config) {
+  const char* root = std::getenv("CELLSCOPE_STORE_DIR");
+  if (root == nullptr || root[0] == '\0') return sim::run_scenario(config);
+  const std::string dir =
+      std::string(root) + "/" + sim::config_digest(config);
+  auto outcome = store::read_dataset(dir, config);
+  if (outcome.complete()) {
+    std::cout << "(replayed cellstore " << dir << ": " << outcome.rows_read
+              << " rows, " << outcome.bytes_read
+              << " bytes, no simulation)\n";
+    return std::move(*outcome.dataset);
+  }
+  if (outcome.status == store::ReadOutcome::Status::kDegraded)
+    std::cout << "(cellstore " << dir << " degraded — " << outcome.error
+              << "; re-simulating)\n";
+  return store::simulate_to_store(config, dir);
+}
+
 inline sim::Dataset run_figure_scenario(bool with_kpis,
                                         const std::string& banner) {
   const auto config = figure_scenario(with_kpis);
@@ -191,7 +223,7 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
   // untouched and no files are written.
   const bool obs_on = obs::enable_from_env();
   const auto start = std::chrono::steady_clock::now();
-  auto data = sim::run_scenario(config);
+  auto data = load_or_run(config);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -30,6 +30,11 @@ class GroupedDailySeries {
   [[nodiscard]] const DailySeries& group(std::size_t index) const {
     return series_.at(index);
   }
+  // Mutable group access for serialization (store/dataset_io restores raw
+  // per-day sums via DailySeries::restore).
+  [[nodiscard]] DailySeries& group_mutable(std::size_t index) {
+    return series_.at(index);
+  }
 
   // Samples recorded for a group's day (0 = the day is a gap, not a zero).
   [[nodiscard]] std::size_t day_samples(std::size_t group, SimDay day) const;

@@ -36,6 +36,19 @@ void DistributionSeries::seal_day(SimDay day) {
   sealed_[i] = true;
 }
 
+bool DistributionSeries::sealed_day(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return false;
+  return sealed_[index(day)];
+}
+
+void DistributionSeries::restore_day(SimDay day, const stats::Summary& summary) {
+  if (day < first_day_ || day > last_day_) return;
+  const auto i = index(day);
+  summaries_[i] = summary;
+  buffers_[i] = stats::SampleBuffer{};
+  sealed_[i] = true;
+}
+
 bool DistributionSeries::has(SimDay day) const {
   if (day < first_day_ || day > last_day_) return false;
   const auto i = index(day);

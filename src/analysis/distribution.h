@@ -31,6 +31,12 @@ class DistributionSeries {
   [[nodiscard]] bool has(SimDay day) const;
   [[nodiscard]] const stats::Summary& day_summary(SimDay day) const;
 
+  // Serialization access (store/dataset_io): whether a day has been sealed
+  // (independent of its sample count — a sealed empty day is state too),
+  // and the inverse of seal_day for restoring a saved summary.
+  [[nodiscard]] bool sealed_day(SimDay day) const;
+  void restore_day(SimDay day, const stats::Summary& summary);
+
   [[nodiscard]] SimDay first_day() const { return first_day_; }
   [[nodiscard]] SimDay last_day() const { return last_day_; }
 

@@ -4,23 +4,32 @@
 
 namespace cellscope::analysis {
 
-void export_kpis_csv(std::ostream& os, const telemetry::KpiStore& store,
-                     const radio::RadioTopology& topology,
-                     const geo::UkGeography& geography) {
+void export_kpis_csv_header(std::ostream& os) {
   os << "day,date,cell,site,district,dl_mb,ul_mb,active_dl_users,"
         "tti_utilization,user_dl_tput_mbps,connected_users,voice_mb,"
         "voice_users,voice_dl_loss_pct,voice_ul_loss_pct\n";
-  for (const auto& r : store.records()) {
-    const auto& cell = topology.cell(r.cell);
-    const auto& site = topology.site(cell.site);
-    os << r.day << ',' << format_date(r.day) << ',' << r.cell.value() << ','
-       << site.id.value() << ',' << geography.district(site.district).name
-       << ',' << r.dl_volume_mb << ',' << r.ul_volume_mb << ','
-       << r.active_dl_users << ',' << r.tti_utilization << ','
-       << r.user_dl_throughput_mbps << ',' << r.connected_users << ','
-       << r.voice_volume_mb << ',' << r.simultaneous_voice_users << ','
-       << r.voice_dl_loss_pct << ',' << r.voice_ul_loss_pct << '\n';
-  }
+}
+
+void export_kpi_row_csv(std::ostream& os, const telemetry::CellDayRecord& r,
+                        const radio::RadioTopology& topology,
+                        const geo::UkGeography& geography) {
+  const auto& cell = topology.cell(r.cell);
+  const auto& site = topology.site(cell.site);
+  os << r.day << ',' << format_date(r.day) << ',' << r.cell.value() << ','
+     << site.id.value() << ',' << geography.district(site.district).name
+     << ',' << r.dl_volume_mb << ',' << r.ul_volume_mb << ','
+     << r.active_dl_users << ',' << r.tti_utilization << ','
+     << r.user_dl_throughput_mbps << ',' << r.connected_users << ','
+     << r.voice_volume_mb << ',' << r.simultaneous_voice_users << ','
+     << r.voice_dl_loss_pct << ',' << r.voice_ul_loss_pct << '\n';
+}
+
+void export_kpis_csv(std::ostream& os, const telemetry::KpiStore& store,
+                     const radio::RadioTopology& topology,
+                     const geo::UkGeography& geography) {
+  export_kpis_csv_header(os);
+  for (const auto& r : store.records())
+    export_kpi_row_csv(os, r, topology, geography);
 }
 
 void export_grouped_series_csv(std::ostream& os,

@@ -24,6 +24,15 @@ void export_kpis_csv(std::ostream& os, const telemetry::KpiStore& store,
                      const radio::RadioTopology& topology,
                      const geo::UkGeography& geography);
 
+// Streaming variant of the same schema, one call per record: the header
+// line, then rows in whatever order the caller produces them. This is the
+// out-of-core path — export_feeds streams KPI rows straight off a
+// cellstore shard reader through these without materializing a KpiStore.
+void export_kpis_csv_header(std::ostream& os);
+void export_kpi_row_csv(std::ostream& os, const telemetry::CellDayRecord& r,
+                        const radio::RadioTopology& topology,
+                        const geo::UkGeography& geography);
+
 // One grouped mobility series:
 //   day,date,group,value,count
 void export_grouped_series_csv(std::ostream& os,

@@ -14,6 +14,13 @@ namespace cellscope::analysis {
 
 namespace {
 
+// Strips the '\r' a CRLF-terminated dump leaves behind: std::getline
+// splits on '\n' only, and a stray '\r' would otherwise poison the last
+// field of every row (and, in lenient mode, quarantine the entire file).
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 // Splits one CSV line (no quoting in our schema) into at most `max` fields.
 std::vector<std::string_view> split_csv(std::string_view line) {
   std::vector<std::string_view> fields;
@@ -86,6 +93,7 @@ void read_header(std::istream& is, std::string& line,
   if (!std::getline(is, line))
     throw std::runtime_error("kpis csv: empty input");
   ++line_number;
+  strip_cr(line);
   if (line.rfind("day,date,cell", 0) != 0)
     throw std::runtime_error("kpis csv: unexpected header '" + line + "'");
 }
@@ -107,8 +115,20 @@ KpiImportResult import_kpis_strict(std::istream& is) {
 
   while (std::getline(is, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
-    const auto record = parse_record(line, line_number);
+    telemetry::CellDayRecord record;
+    try {
+      record = parse_record(line, line_number);
+    } catch (const std::runtime_error& error) {
+      // A parse failure on an unterminated final line is the signature of
+      // a feed clipped mid-write; say so instead of a generic field error.
+      if (is.eof())
+        throw std::runtime_error(std::string(error.what()) +
+                                 " (unterminated final line — input "
+                                 "truncated mid-write?)");
+      throw;
+    }
     if (record.day != current_day) {
       if (record.day < current_day)
         throw std::runtime_error("kpis csv: days out of order on line " +
@@ -142,14 +162,19 @@ KpiImportResult import_kpis_lenient(std::istream& is,
   std::vector<Parsed> parsed;
   while (std::getline(is, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
     try {
       parsed.push_back({parse_record(line, line_number), line_number});
     } catch (const std::runtime_error& error) {
       ++result.quarantined;
       result.quality.quarantine(kFeed);
-      if (result.quarantine_log.size() < options.max_quarantine_log)
-        result.quarantine_log.push_back({line_number, error.what()});
+      if (result.quarantine_log.size() < options.max_quarantine_log) {
+        std::string reason = error.what();
+        if (is.eof())
+          reason += " (unterminated final line — input truncated mid-write?)";
+        result.quarantine_log.push_back({line_number, std::move(reason)});
+      }
     }
   }
   // Stable sort keeps input order within a day, so "first occurrence wins"

@@ -48,6 +48,19 @@ void MobilityMatrix::observe(const telemetry::UserDayObservation& observation,
   }
 }
 
+void MobilityMatrix::restore_presence(CountyId county, SimDay day,
+                                      double presence) {
+  if (day < first_day_ || day > last_day_) return;
+  presence_[county.value()][static_cast<std::size_t>(day - first_day_)] =
+      presence;
+}
+
+void MobilityMatrix::restore_observations(SimDay day,
+                                          std::size_t observations) {
+  if (day < first_day_ || day > last_day_) return;
+  observations_[static_cast<std::size_t>(day - first_day_)] = observations;
+}
+
 double MobilityMatrix::presence(CountyId county, SimDay day) const {
   if (day < first_day_ || day > last_day_) return 0.0;
   return presence_[county.value()][static_cast<std::size_t>(day - first_day_)];

@@ -58,6 +58,14 @@ class MobilityMatrix {
   [[nodiscard]] std::vector<Row> rows(int baseline_week, int top_n = 10) const;
 
   [[nodiscard]] CountyId home_county() const { return home_county_; }
+  [[nodiscard]] SimDay first_day() const { return first_day_; }
+  [[nodiscard]] SimDay last_day() const { return last_day_; }
+
+  // Serialization access (store/dataset_io): restore one presence cell /
+  // one day's observation count exactly as observe() accumulated them.
+  // Out-of-window days are ignored.
+  void restore_presence(CountyId county, SimDay day, double presence);
+  void restore_observations(SimDay day, std::size_t observations);
 
  private:
   const geo::UkGeography& geography_;

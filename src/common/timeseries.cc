@@ -58,6 +58,18 @@ std::size_t DailySeries::count(SimDay day) const {
   return counts_[index(day)];
 }
 
+double DailySeries::day_sum(SimDay day) const {
+  if (day < first_day_ || day > last_day_) return 0.0;
+  return sums_[index(day)];
+}
+
+void DailySeries::restore(SimDay day, double sum, std::size_t count) {
+  if (day < first_day_ || day > last_day_) return;
+  const auto i = index(day);
+  sums_[i] = sum;
+  counts_[i] = count;
+}
+
 std::vector<double> DailySeries::week_values(int iso_week_number) const {
   std::vector<double> out;
   const SimDay start = week_start_day(iso_week_number);

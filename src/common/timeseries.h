@@ -57,6 +57,12 @@ class DailySeries {
   [[nodiscard]] int first_week() const { return iso_week(first_day_); }
   [[nodiscard]] int last_week() const { return iso_week(last_day_); }
 
+  // Raw accumulator access for serialization (store/dataset_io). value()
+  // divides sum by count, so a bitwise round trip must move the raw sum.
+  // Days outside the window return 0 / are ignored.
+  [[nodiscard]] double day_sum(SimDay day) const;
+  void restore(SimDay day, double sum, std::size_t count);
+
  private:
   [[nodiscard]] std::size_t index(SimDay day) const;
 

@@ -66,6 +66,71 @@ std::string config_digest(const ScenarioConfig& config) {
   digest.field("lte_time_share", config.lte_time_share);
   digest.field("kpi_reduction",
                static_cast<std::uint64_t>(config.kpi_reduction));
+  // Model parameters. Every knob that changes what the simulation produces
+  // must enter the digest: the store's load_or_run() replays a cached
+  // dataset whenever digests match, so a missed field here would silently
+  // serve one counterfactual's results as another's. Fields the simulator
+  // overrides from top-level config (population.num_users/seed,
+  // topology.expected_subscribers/seed, geography.seed) are excluded — they
+  // cannot differ between runs that share the fields above.
+  digest.field("geo_scale", config.geography.population_scale);
+  digest.field("pol_advice",
+               static_cast<std::uint64_t>(config.policy.advice_day));
+  digest.field("pol_closure",
+               static_cast<std::uint64_t>(config.policy.closure_day));
+  digest.field("pol_lockdown",
+               static_cast<std::uint64_t>(config.policy.lockdown_day));
+  digest.field("pol_enabled",
+               static_cast<std::uint64_t>(config.policy.lockdown_enabled));
+  digest.field("pol_suppression", config.policy.suppression_scale);
+  digest.field("pol_relaxation",
+               static_cast<std::uint64_t>(config.policy.regional_relaxation));
+  digest.field("pol_voice_surge", config.policy.voice_surge_scale);
+  digest.field("pop_m2m", config.population.m2m_fraction);
+  digest.field("pop_roamer", config.population.roamer_fraction);
+  digest.field("pop_second_home", config.population.second_home_fraction);
+  digest.field("topo_users_per_site", config.topology.users_per_site);
+  digest.field("topo_3g", config.topology.site_has_3g);
+  digest.field("topo_2g", config.topology.site_has_2g);
+  digest.field("topo_outage", config.topology.outage_probability);
+  digest.field("beh_evening", config.behavior.weekday_evening_leisure);
+  digest.field("beh_weekend", config.behavior.weekend_leisure);
+  digest.field("beh_errand", config.behavior.errand_probability);
+  digest.field("beh_ld_errand", config.behavior.lockdown_errand);
+  digest.field("beh_ld_outing", config.behavior.lockdown_outing);
+  digest.field("beh_second_home", config.behavior.getaway_second_home);
+  digest.field("beh_london", config.behavior.getaway_london);
+  digest.field("beh_other", config.behavior.getaway_other);
+  digest.field("beh_rush", config.behavior.rush_multiplier);
+  digest.field("beh_wfh", config.behavior.wfh_adoption);
+  digest.field("rel_seasonal_leave", config.relocation.seasonal_leave);
+  digest.field("rel_seasonal_reloc", config.relocation.seasonal_relocate);
+  digest.field("rel_roamer_leave", config.relocation.roamer_leave);
+  digest.field("rel_student", config.relocation.student_relocate);
+  digest.field("rel_second_home", config.relocation.second_home_relocate);
+  digest.field("dem_away_dl", config.demand.away_dl_mb_per_hour);
+  digest.field("dem_home_dl", config.demand.home_dl_residue);
+  digest.field("dem_home_ul", config.demand.home_ul_residue);
+  digest.field("dem_work_dl", config.demand.work_dl_residue);
+  digest.field("dem_work_ul", config.demand.work_ul_residue);
+  digest.field("dem_noise", config.demand.noise_sigma);
+  digest.field("dem_boost", config.demand.restricted_usage_boost);
+  digest.field("voice_minutes", config.voice.daily_minutes);
+  digest.field("voice_mb", config.voice.mb_per_minute);
+  digest.field("voice_offnet", config.voice.offnet_fraction);
+  digest.field("ic_capacity", config.interconnect.baseline_capacity);
+  digest.field("ic_upgrade", config.interconnect.upgrade_factor);
+  digest.field("ic_upgrade_day",
+               static_cast<std::uint64_t>(config.interconnect.upgrade_day));
+  digest.field("ic_base_loss", config.interconnect.base_loss_pct);
+  digest.field("ic_knee", config.interconnect.knee_utilization);
+  digest.field("ic_steepness", config.interconnect.steepness);
+  digest.field("ic_max_loss", config.interconnect.max_loss_pct);
+  digest.field("sig_mcc", static_cast<std::uint64_t>(config.signaling.home_mcc));
+  digest.field("sig_mnc", static_cast<std::uint64_t>(config.signaling.home_mnc));
+  digest.field("sig_attach_fail", config.signaling.attach_failure_rate);
+  digest.field("sig_handover", config.signaling.handover_share);
+  digest.field("sig_detach", config.signaling.daily_detach_probability);
   digest.field("sig_outages", config.faults.signaling_outages_per_week);
   digest.field("sig_hours", config.faults.signaling_outage_mean_hours);
   digest.field("kpi_outages", config.faults.kpi_outages_per_week);

@@ -88,7 +88,48 @@ Dataset run_scenario(const ScenarioConfig& config) {
   return Simulator{config}.run();
 }
 
-Dataset Simulator::run() {
+Dataset run_scenario(const ScenarioConfig& config, DatasetSink* sink) {
+  return Simulator{config}.run(sink);
+}
+
+void build_substrate(const ScenarioConfig& config, Dataset& ds) {
+  obs::Tracer& tracer = obs::tracer();
+
+  auto geo_config = config.geography;
+  geo_config.seed = config.seed;
+  {
+    const auto span = tracer.span("setup.geography", "setup");
+    ds.geography = std::make_unique<geo::UkGeography>(
+        geo::UkGeography::build(geo_config));
+  }
+
+  {
+    const auto span = tracer.span("setup.population", "setup");
+    ds.catalog = std::make_unique<population::DeviceCatalog>(
+        population::DeviceCatalog::build(config.seed));
+
+    auto pop_config = config.population;
+    pop_config.num_users = config.num_users;
+    pop_config.seed = config.seed;
+    population::PopulationGenerator generator{*ds.geography, *ds.catalog};
+    ds.population = std::make_unique<population::Population>(
+        generator.generate(pop_config));
+  }
+  ds.eligible_users = ds.population->eligible_count();
+
+  auto topo_config = config.topology;
+  topo_config.expected_subscribers = config.num_users;
+  topo_config.seed = config.seed;
+  {
+    const auto span = tracer.span("setup.topology", "setup");
+    ds.topology = std::make_unique<radio::RadioTopology>(
+        radio::RadioTopology::build(*ds.geography, topo_config));
+  }
+
+  ds.policy = std::make_unique<mobility::PolicyTimeline>(config.policy);
+}
+
+Dataset Simulator::run(DatasetSink* sink) {
   config_.validate();
 
   // Observability plumbing. Everything below is behind `obs_on`, a bool
@@ -119,41 +160,10 @@ Dataset Simulator::run() {
   Rng root{config_.seed};
 
   // ---------------------------------------------------------------- setup
-  auto geo_config = config_.geography;
-  geo_config.seed = config_.seed;
-  {
-    const auto span = tracer.span("setup.geography", "setup");
-    ds.geography = std::make_unique<geo::UkGeography>(
-        geo::UkGeography::build(geo_config));
-  }
+  build_substrate(config_, ds);
   const geo::UkGeography& geography = *ds.geography;
-
-  {
-    const auto span = tracer.span("setup.population", "setup");
-    ds.catalog = std::make_unique<population::DeviceCatalog>(
-        population::DeviceCatalog::build(config_.seed));
-
-    auto pop_config = config_.population;
-    pop_config.num_users = config_.num_users;
-    pop_config.seed = config_.seed;
-    population::PopulationGenerator generator{geography, *ds.catalog};
-    ds.population = std::make_unique<population::Population>(
-        generator.generate(pop_config));
-  }
   const auto& subscribers = ds.population->subscribers;
-  ds.eligible_users = ds.population->eligible_count();
-
-  auto topo_config = config_.topology;
-  topo_config.expected_subscribers = config_.num_users;
-  topo_config.seed = config_.seed;
-  {
-    const auto span = tracer.span("setup.topology", "setup");
-    ds.topology = std::make_unique<radio::RadioTopology>(
-        radio::RadioTopology::build(geography, topo_config));
-  }
   const radio::RadioTopology& topology = *ds.topology;
-
-  ds.policy = std::make_unique<mobility::PolicyTimeline>(config_.policy);
   const mobility::PolicyTimeline& policy = *ds.policy;
 
   mobility::PlacesBuilder places_builder{geography};
@@ -730,7 +740,10 @@ Dataset Simulator::run() {
         for (const auto cell_id : topology.lte_cells()) schedule_cell(cell_id);
       }
       if (!faults_on) {
-        ds.kpis.add_day(kpi_aggregator.finish_day());
+        auto day_records = kpi_aggregator.finish_day();
+        if (sink != nullptr && !day_records.empty())
+          sink->on_kpi_day(day, day_records);
+        ds.kpis.add_day(std::move(day_records));
       } else {
         // Warehouse-export faults: lose or duplicate whole cell-day rows.
         auto day_records = kpi_aggregator.finish_day();
@@ -748,6 +761,7 @@ Dataset Simulator::run() {
         }
         ds.quality.expect("kpi-feed", day, cells_scheduled);
         ds.quality.observe("kpi-feed", day, observed);
+        if (sink != nullptr && !kept.empty()) sink->on_kpi_day(day, kept);
         ds.kpis.add_day(std::move(kept));
       }
       if (obs_on) registry.add(m_cells, cells_scheduled);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "analysis/aggregation.h"
 #include "analysis/distribution.h"
@@ -109,12 +110,33 @@ struct Dataset {
   }
 };
 
+// Streaming hook for feed consumers that want rows as they are produced
+// (the on-disk store in src/store implements this). The simulator calls
+// on_kpi_day() once per collected KPI day, in day order, with the day's
+// finalized cell-day rows — the same rows that are about to enter
+// Dataset::kpis — so a sink can persist the dominant feed incrementally
+// with bounded memory instead of walking the finished Dataset.
+class DatasetSink {
+ public:
+  virtual ~DatasetSink() = default;
+  virtual void on_kpi_day(SimDay day,
+                          std::span<const telemetry::CellDayRecord> rows) = 0;
+};
+
+// Builds the deterministic substrate (geography, device catalog,
+// population, radio topology, policy timeline) into `ds` and sets
+// eligible_users. Everything here derives from the config alone, so the
+// store's read_dataset() rebuilds the substrate with this instead of
+// serializing it.
+void build_substrate(const ScenarioConfig& config, Dataset& ds);
+
 class Simulator {
  public:
   explicit Simulator(ScenarioConfig config);
 
-  // Runs the whole window and returns the populated dataset.
-  [[nodiscard]] Dataset run();
+  // Runs the whole window and returns the populated dataset. A non-null
+  // sink receives feed rows as days complete.
+  [[nodiscard]] Dataset run(DatasetSink* sink = nullptr);
 
  private:
   ScenarioConfig config_;
@@ -122,5 +144,7 @@ class Simulator {
 
 // Convenience: configure + run.
 [[nodiscard]] Dataset run_scenario(const ScenarioConfig& config);
+[[nodiscard]] Dataset run_scenario(const ScenarioConfig& config,
+                                   DatasetSink* sink);
 
 }  // namespace cellscope::sim

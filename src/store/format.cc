@@ -1,0 +1,33 @@
+#include "store/format.h"
+
+#include <array>
+
+namespace cellscope::store {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n,
+                     std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ data[i]) & 0xff];
+  return ~crc;
+}
+
+}  // namespace cellscope::store

@@ -53,6 +53,11 @@ void SignalingProbe::merge(const SignalingProbe& other) {
   events_ingested_ += other.events_ingested_;
 }
 
+void SignalingProbe::restore_day(const DailySignalingCounts& counts) {
+  days_.push_back(counts);
+  events_ingested_ += counts.total_events();
+}
+
 const DailySignalingCounts* SignalingProbe::day(SimDay day) const {
   for (const auto& d : days_)
     if (d.day == day) return &d;

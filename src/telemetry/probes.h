@@ -40,6 +40,10 @@ class SignalingProbe final : public traffic::SignalingSink {
   // chronologically ordered days.
   void merge(const SignalingProbe& other);
 
+  // Serialization access (store/dataset_io): appends one saved day's
+  // counters verbatim. Days must arrive in chronological order.
+  void restore_day(const DailySignalingCounts& counts);
+
   // Observability: lifetime event count across every day this probe (and
   // any probes merged into it) ingested. The simulator publishes this into
   // the metrics registry after the per-worker merge.

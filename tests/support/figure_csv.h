@@ -1,0 +1,80 @@
+// The golden scenario and its figure-CSV renderers, shared between the
+// golden-fixture suite (test_golden_figures.cc) and the store replay suite
+// (test_store_replay.cc): a dataset replayed from the store must render the
+// exact same fixture bytes as the live run that produced them.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "analysis/network_metrics.h"
+#include "sim/simulator.h"
+
+namespace cellscope::sim::testsupport {
+
+// Small but non-trivial: ~17 sites, two workers, a chunk grid with several
+// chunks — the golden bytes cover the parallel engine, not a toy path.
+inline ScenarioConfig golden_config() {
+  ScenarioConfig config = default_scenario();
+  config.num_users = 2'000;
+  config.seed = 20'200'407;
+  config.user_chunk = 512;
+  config.worker_threads = 2;
+  config.topology.users_per_site = 120.0;
+  config.collect_signaling = false;
+  return config;
+}
+
+inline std::string fmt_g17(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Fig 3: per-day % change of national gyration/entropy vs the week-9 mean.
+inline std::string fig03_csv(const Dataset& data) {
+  std::ostringstream out;
+  out << "day,gyration_delta_pct,entropy_delta_pct\n";
+  const auto gyration =
+      data.gyration_national.daily_delta(0, data.gyration_baseline());
+  const auto entropy =
+      data.entropy_national.daily_delta(0, data.entropy_baseline());
+  EXPECT_EQ(gyration.size(), entropy.size());
+  for (std::size_t i = 0; i < gyration.size() && i < entropy.size(); ++i) {
+    EXPECT_EQ(gyration[i].day, entropy[i].day);
+    out << gyration[i].day << ',' << fmt_g17(gyration[i].value) << ','
+        << fmt_g17(entropy[i].value) << '\n';
+  }
+  return out.str();
+}
+
+// Fig 8: weekly-median % change per KPI metric and region group.
+inline std::string fig08_csv(const Dataset& data) {
+  static constexpr telemetry::KpiMetric kMetrics[] = {
+      telemetry::KpiMetric::kDlVolume,
+      telemetry::KpiMetric::kUlVolume,
+      telemetry::KpiMetric::kActiveDlUsers,
+      telemetry::KpiMetric::kTtiUtilization,
+      telemetry::KpiMetric::kUserDlThroughput,
+      telemetry::KpiMetric::kVoiceVolume,
+  };
+  const auto grouping =
+      analysis::group_by_region(*data.geography, *data.topology);
+  std::ostringstream out;
+  out << "metric,group,week,delta_pct\n";
+  for (const auto metric : kMetrics) {
+    const analysis::KpiGroupSeries series{data.kpis, grouping, metric};
+    for (std::size_t g = 0; g < series.group_count(); ++g) {
+      for (const auto& point : series.weekly_delta(g, 9, 9, 19)) {
+        out << telemetry::kpi_metric_name(metric) << ',' << grouping.names[g]
+            << ',' << point.week << ',' << fmt_g17(point.value) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cellscope::sim::testsupport

@@ -149,6 +149,72 @@ TEST(ImportKpis, StrictOptionsMatchDefaultBehaviour) {
                std::runtime_error);
 }
 
+TEST(ImportKpis, AcceptsCrlfLineEndings) {
+  // A warehouse dump that crossed a Windows box: every line, header
+  // included, ends in \r\n. Both modes must parse it identically to the
+  // \n-terminated original.
+  std::istringstream is{
+      std::string(kHeader).substr(0, sizeof(kHeader) - 2) +
+      "\r\n"
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\r\n"
+      "22,2020-02-25,3,1,EC1,90,9,2,0.009,3.1,38,1.4,0.2,0.4,0.3\r\n"};
+  const auto strict = import_kpis_csv(is);
+  EXPECT_EQ(strict.rows, 2u);
+  ASSERT_EQ(strict.store.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(strict.store.records()[0].voice_ul_loss_pct, 0.3);
+
+  std::istringstream again{
+      std::string(kHeader).substr(0, sizeof(kHeader) - 2) +
+      "\r\n"
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\r\n"};
+  ImportOptions options;
+  options.lenient = true;
+  const auto lenient = import_kpis_csv(again, options);
+  EXPECT_EQ(lenient.rows, 1u);
+  EXPECT_EQ(lenient.quarantined, 0u);
+}
+
+TEST(ImportKpis, TruncatedFinalLineIsQuarantinedInLenientMode) {
+  // The feed was clipped mid-write: the last line stops in the middle of a
+  // field and has no trailing newline.
+  std::istringstream is{
+      std::string(kHeader) +
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\n"
+      "22,2020-02-25,3,1,EC1,90,9,2,0.0"};
+  ImportOptions options;
+  options.lenient = true;
+  const auto result = import_kpis_csv(is, options);
+  EXPECT_EQ(result.rows, 1u);
+  EXPECT_EQ(result.quarantined, 1u);
+  ASSERT_EQ(result.quarantine_log.size(), 1u);
+  EXPECT_EQ(result.quarantine_log[0].line, 3u);
+  EXPECT_NE(result.quarantine_log[0].reason.find("unterminated final line"),
+            std::string::npos);
+}
+
+TEST(ImportKpis, TruncatedFinalLineThrowsWithContextInStrictMode) {
+  std::istringstream is{
+      std::string(kHeader) +
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3\n"
+      "22,2020-02-25,3,1,EC1,90,9"};
+  try {
+    (void)import_kpis_csv(is);
+    FAIL() << "truncated final line must throw in strict mode";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("unterminated final line"),
+              std::string::npos);
+  }
+}
+
+TEST(ImportKpis, CompleteFinalLineWithoutNewlineIsAccepted) {
+  // No trailing newline but the row itself is whole — legal, not truncated.
+  std::istringstream is{
+      std::string(kHeader) +
+      "21,2020-02-24,3,1,EC1,100.5,10.5,2.5,0.01,3.2,40,1.5,0.2,0.4,0.3"};
+  const auto result = import_kpis_csv(is);
+  EXPECT_EQ(result.rows, 1u);
+}
+
 TEST(ImportKpis, RoundTripsThroughExport) {
   // Build a small store, export it, re-import it, and compare series.
   const auto geography = geo::UkGeography::build();

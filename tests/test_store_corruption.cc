@@ -1,0 +1,179 @@
+// Corruption robustness of the dataset layer: a damaged store must never
+// crash, never throw, and — above all — never serve partial data as
+// complete. Every mutation here (bit flip, truncation, deleted feed,
+// missing manifest) must surface as a degraded or missing outcome with
+// the losses accounted in the telemetry/quality ledger, while everything
+// intact still loads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/simulator.h"
+#include "store/dataset_io.h"
+#include "store/format.h"
+
+namespace cellscope::store {
+namespace {
+
+sim::ScenarioConfig tiny_config() {
+  sim::ScenarioConfig config = sim::default_scenario();
+  config.num_users = 600;
+  config.seed = 77;
+  config.user_chunk = 128;
+  config.worker_threads = 2;
+  return config;
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream file{path, std::ios::in | std::ios::out | std::ios::binary};
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  ASSERT_TRUE(file.good()) << path;
+}
+
+std::uint64_t store_quarantined(const sim::Dataset& ds) {
+  for (const auto& feed : ds.quality.feeds())
+    if (feed.name == "store") return feed.quarantined_records;
+  return 0;
+}
+
+// One pristine store for the suite; each test clones and damages a copy.
+class StoreCorruption : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_dir_ =
+        new std::string(::testing::TempDir() + "cellstore_corruption_base");
+    std::filesystem::remove_all(*base_dir_);
+    live_ = new sim::Dataset(simulate_to_store(tiny_config(), *base_dir_));
+  }
+  static void TearDownTestSuite() {
+    delete live_;
+    live_ = nullptr;
+    delete base_dir_;
+    base_dir_ = nullptr;
+  }
+
+  static const sim::Dataset& live() { return *live_; }
+
+  static std::string clone(const std::string& name) {
+    const std::string dir =
+        ::testing::TempDir() + "cellstore_corruption_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::copy(*base_dir_, dir);
+    return dir;
+  }
+
+ private:
+  static std::string* base_dir_;
+  static sim::Dataset* live_;
+};
+std::string* StoreCorruption::base_dir_ = nullptr;
+sim::Dataset* StoreCorruption::live_ = nullptr;
+
+TEST_F(StoreCorruption, PristineCloneLoadsComplete) {
+  const ReadOutcome outcome = read_dataset(clone("pristine"), tiny_config());
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kOk) << outcome.error;
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(outcome.shards_quarantined, 0u);
+  EXPECT_EQ(store_quarantined(*outcome.dataset), 0u);
+}
+
+TEST_F(StoreCorruption, BitFlippedKpiFeedDegradesWithoutCrash) {
+  const std::string dir = clone("bitflip");
+  // Offset 64 sits inside the first KPI shard (header + column directory),
+  // so the shard's CRC no longer matches.
+  flip_byte(dir + "/" + feed_file_name("kpis"), 64);
+
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kDegraded) << outcome.error;
+  EXPECT_FALSE(outcome.complete());
+  EXPECT_GE(outcome.shards_quarantined, 1u);
+  EXPECT_FALSE(outcome.quarantine_log.empty());
+  // The dataset is still served — degraded, with the damage on the ledger —
+  // and the untouched feeds loaded in full.
+  ASSERT_TRUE(outcome.dataset.has_value());
+  EXPECT_GE(store_quarantined(*outcome.dataset), 1u);
+  EXPECT_EQ(outcome.dataset->homes.size(), live().homes.size());
+  EXPECT_LT(outcome.dataset->kpis.records().size(),
+            live().kpis.records().size());
+}
+
+TEST_F(StoreCorruption, TruncatedKpiFeedDegradesWithoutCrash) {
+  const std::string dir = clone("truncated");
+  const std::string kpis = dir + "/" + feed_file_name("kpis");
+  std::filesystem::resize_file(kpis, std::filesystem::file_size(kpis) / 2);
+
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kDegraded) << outcome.error;
+  EXPECT_FALSE(outcome.complete());
+  EXPECT_GE(outcome.shards_quarantined, 1u);
+  ASSERT_TRUE(outcome.dataset.has_value());
+  EXPECT_EQ(outcome.dataset->kpis.records().size(), 0u);
+  EXPECT_EQ(outcome.dataset->homes.size(), live().homes.size());
+  EXPECT_GE(store_quarantined(*outcome.dataset), 1u);
+}
+
+TEST_F(StoreCorruption, DeletedFeedFileDegradesWithoutCrash) {
+  const std::string dir = clone("deleted");
+  std::filesystem::remove(dir + "/" + feed_file_name("homes"));
+
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kDegraded) << outcome.error;
+  EXPECT_FALSE(outcome.complete());
+  ASSERT_TRUE(outcome.dataset.has_value());
+  EXPECT_EQ(outcome.dataset->homes.size(), 0u);
+  // Every other feed is unaffected.
+  EXPECT_EQ(outcome.dataset->kpis.records().size(),
+            live().kpis.records().size());
+  EXPECT_EQ(outcome.dataset->signaling.days().size(),
+            live().signaling.days().size());
+}
+
+TEST_F(StoreCorruption, EveryFeedDamagedStillNeverCrashes) {
+  const std::string dir = clone("scorched");
+  for (const auto& feed : dataset_feeds()) {
+    const std::string path = dir + "/" + feed_file_name(feed);
+    const auto size = std::filesystem::file_size(path);
+    if (size > 48) {
+      flip_byte(path, size / 2);
+    } else {
+      std::filesystem::resize_file(path, size / 2);
+    }
+  }
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  EXPECT_EQ(outcome.status, ReadOutcome::Status::kDegraded);
+  EXPECT_FALSE(outcome.complete());
+  ASSERT_TRUE(outcome.dataset.has_value());
+  EXPECT_GE(store_quarantined(*outcome.dataset), 1u);
+}
+
+TEST_F(StoreCorruption, MissingManifestReportsMissing) {
+  const std::string dir = clone("manifestless");
+  std::filesystem::remove(dir + "/" + kManifestFile);
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  EXPECT_EQ(outcome.status, ReadOutcome::Status::kMissing);
+  EXPECT_FALSE(outcome.dataset.has_value());
+}
+
+TEST_F(StoreCorruption, GarbageManifestReportsMissing) {
+  const std::string dir = clone("garbage_manifest");
+  {
+    std::ofstream out{dir + "/" + kManifestFile,
+                      std::ios::binary | std::ios::trunc};
+    out << "not a manifest\n";
+  }
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  EXPECT_EQ(outcome.status, ReadOutcome::Status::kMissing);
+  EXPECT_FALSE(outcome.dataset.has_value());
+}
+
+}  // namespace
+}  // namespace cellscope::store
