@@ -18,6 +18,13 @@
 //                            <dir>/<config-digest>/ and later runs of the
 //                            same scenario replay it bitwise-identically
 //                            instead of re-simulating (see docs/STORAGE.md)
+//   CELLSCOPE_AUDIT          "1" runs the conservation audit (docs/AUDIT.md):
+//                            in-process during simulation, post-hoc over a
+//                            replayed store, plus the store-reconcile law
+//                            when CELLSCOPE_STORE_DIR is in play. The report
+//                            prints after the figures; any violation exits 3
+//                            (after writing <slug>.audit.{json,csv} when
+//                            CELLSCOPE_OBS_DIR is set). "0"/unset: off.
 // Malformed numeric overrides exit with status 2 and a one-line error.
 #pragma once
 
@@ -36,6 +43,7 @@
 #include "common/timeseries.h"
 #include "obs/manifest.h"
 #include "obs/runtime.h"
+#include "sim/dataset_audit.h"
 #include "sim/simulator.h"
 #include "store/dataset_io.h"
 
@@ -83,6 +91,15 @@ inline sim::ScenarioConfig figure_scenario(bool with_kpis) {
       config.faults = sim::parse_fault_spec(faults);
     } catch (const std::invalid_argument& error) {
       std::cerr << "CELLSCOPE_BENCH_FAULTS: " << error.what() << "\n";
+      std::exit(2);
+    }
+  }
+  if (const char* audit = std::getenv("CELLSCOPE_AUDIT")) {
+    if (std::strcmp(audit, "1") == 0) {
+      config.audit = true;
+    } else if (std::strcmp(audit, "0") != 0 && audit[0] != '\0') {
+      std::cerr << "CELLSCOPE_AUDIT: malformed value '" << audit
+                << "' (expected 0 or 1)\n";
       std::exit(2);
     }
   }
@@ -135,6 +152,15 @@ inline void write_obs_outputs(const std::string& slug,
   manifest.peak_rss_kb = obs::peak_rss_kb();
   manifest.phases = tracer.phase_totals();
   manifest.metrics = obs::metrics().snapshot();
+  if (config.audit) {
+    manifest.audit_enabled = true;
+    manifest.audit_checks = data.audit_report.checks_evaluated();
+    manifest.audit_violations = data.audit_report.violations().size();
+    for (const auto& law : data.audit_report.laws()) {
+      manifest.audit_laws.push_back(
+          {law.law, law.checks, law.violations});
+    }
+  }
   for (const auto& feed : data.quality.feeds()) {
     obs::RunManifest::FeedSummary summary;
     summary.name = feed.name;
@@ -158,6 +184,18 @@ inline void write_obs_outputs(const std::string& slug,
   {
     std::ofstream out(base + ".manifest.json");
     obs::write_manifest_json(out, manifest);
+  }
+  if (config.audit) {
+    // Machine-readable audit report next to the manifest (CI uploads the
+    // JSON as an artifact).
+    {
+      std::ofstream out(base + ".audit.json");
+      data.audit_report.write_json(out);
+    }
+    {
+      std::ofstream out(base + ".audit.csv");
+      data.audit_report.write_csv(out);
+    }
   }
 
   print_banner(std::cout, "Observability: phase timing");
@@ -227,7 +265,31 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (config.audit) {
+    // A simulated run audited itself in-process (checks > 0); a replayed
+    // store arrives unaudited, so run the full post-hoc pass over it here.
+    if (data.audit_report.checks_evaluated() == 0)
+      data.audit_report = sim::audit_dataset(data);
+    // When a cellstore is in play, reconcile its physical accounting too
+    // (the store was either just written or just replayed).
+    if (const char* root = std::getenv("CELLSCOPE_STORE_DIR");
+        root != nullptr && root[0] != '\0') {
+      const std::string dir =
+          std::string(root) + "/" + sim::config_digest(config);
+      data.audit_report.merge(store::audit_store(dir));
+    }
+  }
   if (obs_on) write_obs_outputs(slugify(banner), config, data, wall_seconds);
+  if (config.audit) {
+    std::cout << "\n";
+    data.audit_report.print(std::cout);
+    if (!data.audit_report.clean()) {
+      std::cerr << "conservation audit FAILED: "
+                << data.audit_report.violations().size()
+                << " violation(s)\n";
+      std::exit(3);
+    }
+  }
   return data;
 }
 

@@ -1,0 +1,137 @@
+#include "audit/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace cellscope::audit {
+
+namespace {
+
+// JSON has no NaN/Inf; degenerate values serialize as 0 (matching the obs
+// manifest writer's convention).
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// CSV fields are quoted with doubled inner quotes, so commas in violation
+// details never shear a row.
+std::string csv_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+AuditReport::LawCount& AuditReport::law_entry(std::string_view law) {
+  for (auto& entry : laws_)
+    if (entry.law == law) return entry;
+  laws_.push_back(LawCount{std::string(law), 0, 0});
+  return laws_.back();
+}
+
+void AuditReport::add_checks(std::string_view law, std::uint64_t n) {
+  law_entry(law).checks += n;
+}
+
+void AuditReport::add_violation(AuditViolation violation) {
+  ++law_entry(violation.law).violations;
+  violations_.push_back(std::move(violation));
+}
+
+std::uint64_t AuditReport::checks_evaluated() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : laws_) total += entry.checks;
+  return total;
+}
+
+std::uint64_t AuditReport::checks_for(std::string_view law) const {
+  for (const auto& entry : laws_)
+    if (entry.law == law) return entry.checks;
+  return 0;
+}
+
+std::uint64_t AuditReport::violations_for(std::string_view law) const {
+  for (const auto& entry : laws_)
+    if (entry.law == law) return entry.violations;
+  return 0;
+}
+
+void AuditReport::merge(const AuditReport& other) {
+  for (const auto& entry : other.laws_) {
+    LawCount& mine = law_entry(entry.law);
+    mine.checks += entry.checks;
+    mine.violations += entry.violations;
+  }
+  violations_.insert(violations_.end(), other.violations_.begin(),
+                     other.violations_.end());
+}
+
+void AuditReport::print(std::ostream& os) const {
+  os << "Conservation audit: " << checks_evaluated() << " checks, "
+     << violations_.size() << " violation(s)\n";
+  for (const auto& entry : laws_) {
+    os << "  " << entry.law << ": " << entry.checks << " checks, "
+       << entry.violations << " violation(s)\n";
+  }
+  // Cap the detail listing: a systematically broken law would otherwise
+  // bury the summary under thousands of identical rows.
+  constexpr std::size_t kMaxDetailed = 20;
+  const std::size_t shown = std::min(violations_.size(), kMaxDetailed);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const AuditViolation& v = violations_[i];
+    os << "  VIOLATION [" << v.law << "] " << v.subject << ": expected "
+       << v.expected << ", actual " << v.actual << " — " << v.detail << "\n";
+  }
+  if (violations_.size() > shown)
+    os << "  ... and " << violations_.size() - shown << " more\n";
+}
+
+void AuditReport::write_json(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"schema\": \"cellscope-audit-report/1\",\n";
+  os << "  \"checks\": " << checks_evaluated() << ",\n";
+  os << "  \"violations_total\": " << violations_.size() << ",\n";
+  os << "  \"clean\": " << (clean() ? "true" : "false") << ",\n";
+  os << "  \"laws\": [";
+  for (std::size_t i = 0; i < laws_.size(); ++i) {
+    const LawCount& entry = laws_[i];
+    os << (i ? "," : "") << "\n    {\"law\": \"" << obs::json_escape(entry.law)
+       << "\", \"checks\": " << entry.checks
+       << ", \"violations\": " << entry.violations << "}";
+  }
+  os << (laws_.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    const AuditViolation& v = violations_[i];
+    os << (i ? "," : "") << "\n    {\"law\": \"" << obs::json_escape(v.law)
+       << "\", \"subject\": \"" << obs::json_escape(v.subject)
+       << "\", \"expected\": " << number(v.expected)
+       << ", \"actual\": " << number(v.actual) << ", \"detail\": \""
+       << obs::json_escape(v.detail) << "\"}";
+  }
+  os << (violations_.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+}
+
+void AuditReport::write_csv(std::ostream& os) const {
+  os << "law,subject,expected,actual,detail\n";
+  for (const AuditViolation& v : violations_) {
+    os << csv_quote(v.law) << ',' << csv_quote(v.subject) << ','
+       << number(v.expected) << ',' << number(v.actual) << ','
+       << csv_quote(v.detail) << "\n";
+  }
+}
+
+}  // namespace cellscope::audit

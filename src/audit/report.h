@@ -1,0 +1,83 @@
+// Conservation-audit report.
+//
+// Every figure in the paper is an accounting claim: per-cell volumes that
+// must sum to regional and national aggregates, call attempts that must be
+// fully classified, ledgers that must close. The audit subsystem verifies a
+// registry of such conservation laws (audit/laws.h) over a finished run and
+// collects what it finds here: per-law counts of checks evaluated, plus a
+// structured violation record for every check that failed. A clean report
+// (zero violations, nonzero checks) is the mechanized answer to "did any
+// layer double-count or lose data?" — the spot checks the ROADMAP's
+// production-scale north star cannot afford to do by hand.
+//
+// The report is passive bookkeeping: building one never mutates the run it
+// describes, so an audited run stays bit-identical to an unaudited one
+// (test_determinism enforces this end to end).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellscope::audit {
+
+// One failed conservation check.
+struct AuditViolation {
+  std::string law;      // registered law id, e.g. "voice-accounting"
+  std::string subject;  // what broke: a feed, a day, a cell, a metric
+  double expected = 0.0;
+  double actual = 0.0;
+  std::string detail;   // human-readable explanation
+};
+
+class AuditReport {
+ public:
+  // Accounts `n` evaluated checks against a law, registering the law on
+  // first use (laws print in registration order). Every law check calls
+  // this even when the check passes, so a report distinguishes "law held
+  // over N checks" from "law never ran".
+  void add_checks(std::string_view law, std::uint64_t n = 1);
+
+  // Records a failed check. The violation's law is registered if needed;
+  // its check must already have been counted via add_checks().
+  void add_violation(AuditViolation violation);
+
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+  [[nodiscard]] std::uint64_t checks_evaluated() const;
+  [[nodiscard]] std::uint64_t checks_for(std::string_view law) const;
+  [[nodiscard]] std::uint64_t violations_for(std::string_view law) const;
+
+  // Per-law accounting, in registration order.
+  struct LawCount {
+    std::string law;
+    std::uint64_t checks = 0;
+    std::uint64_t violations = 0;
+  };
+  [[nodiscard]] const std::vector<LawCount>& laws() const { return laws_; }
+
+  // Adds another report's counts and violations into this one (e.g. the
+  // store-reconcile report on top of the dataset-law report).
+  void merge(const AuditReport& other);
+
+  // Human-readable summary table plus the first violations, for benches.
+  void print(std::ostream& os) const;
+
+  // Machine-readable exports: one JSON document / one CSV row per
+  // violation (CI uploads the JSON as an artifact).
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  LawCount& law_entry(std::string_view law);
+
+  std::vector<LawCount> laws_;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace cellscope::audit

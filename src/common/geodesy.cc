@@ -34,9 +34,16 @@ LatLon weighted_centroid(const std::vector<LatLon>& points,
 
 LatLon offset_km(const LatLon& origin, double east_km, double north_km) {
   const double dlat = north_km / kEarthRadiusKm * 180.0 / std::numbers::pi;
-  const double dlon = east_km /
-                      (kEarthRadiusKm * std::cos(deg2rad(origin.lat_deg))) *
-                      180.0 / std::numbers::pi;
+  // The local-tangent-plane approximation divides by cos(lat), which
+  // vanishes at the poles and would turn any eastward offset into an
+  // infinite longitude. Clamp the shrinking parallel radius to its value
+  // 0.1 degrees off the pole: exact for every inhabited latitude (Shetland
+  // is ~60.5 degrees, cos ~0.49) and finite, monotonic degradation beyond.
+  constexpr double kMinCosLat = 0.0017453283658983088;  // cos(89.9 deg)
+  const double cos_lat =
+      std::max(std::cos(deg2rad(origin.lat_deg)), kMinCosLat);
+  const double dlon =
+      east_km / (kEarthRadiusKm * cos_lat) * 180.0 / std::numbers::pi;
   return {origin.lat_deg + dlat, origin.lon_deg + dlon};
 }
 

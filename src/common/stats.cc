@@ -17,7 +17,7 @@ double variance(std::span<const double> sample) {
   const double m = mean(sample);
   double accum = 0.0;
   for (const double v : sample) accum += (v - m) * (v - m);
-  return accum / static_cast<double>(sample.size());
+  return accum / static_cast<double>(sample.size() - 1);
 }
 
 double stddev(std::span<const double> sample) {
@@ -25,6 +25,17 @@ double stddev(std::span<const double> sample) {
 }
 
 namespace {
+
+// Copies only the finite values: NaN breaks strict weak ordering, making
+// nth_element/sort UB, so non-finite entries never enter a scratch buffer.
+std::vector<double> finite_scratch(std::span<const double> sample) {
+  std::vector<double> scratch;
+  scratch.reserve(sample.size());
+  for (const double v : sample)
+    if (std::isfinite(v)) scratch.push_back(v);
+  return scratch;
+}
+
 // Quantile on a scratch copy we are allowed to reorder.
 double quantile_inplace(std::vector<double>& scratch, double q) {
   if (scratch.empty()) return 0.0;
@@ -47,7 +58,7 @@ double quantile_inplace(std::vector<double>& scratch, double q) {
 }  // namespace
 
 double quantile(std::span<const double> sample, double q) {
-  std::vector<double> scratch(sample.begin(), sample.end());
+  std::vector<double> scratch = finite_scratch(sample);
   return quantile_inplace(scratch, q);
 }
 
@@ -129,7 +140,7 @@ void Running::merge(const Running& other) {
 
 double Running::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double Running::stddev() const { return std::sqrt(variance()); }
@@ -139,7 +150,8 @@ Summary summarize(std::span<const double> sample) {
   s.n = sample.size();
   if (sample.empty()) return s;
   s.mean = mean(sample);
-  std::vector<double> scratch(sample.begin(), sample.end());
+  std::vector<double> scratch = finite_scratch(sample);
+  if (scratch.empty()) return s;
   std::sort(scratch.begin(), scratch.end());
   const auto at = [&](double q) {
     const double pos = q * static_cast<double>(scratch.size() - 1);

@@ -16,15 +16,21 @@ namespace cellscope::stats {
 // Arithmetic mean; 0 for an empty sample.
 [[nodiscard]] double mean(std::span<const double> sample);
 
-// Population variance / standard deviation; 0 for fewer than 2 points.
+// Sample (Bessel-corrected, n-1 divisor) variance / standard deviation;
+// 0 for fewer than 2 points — the guard and the divisor agree on sample
+// semantics, since every caller works with a sample of a larger process.
 [[nodiscard]] double variance(std::span<const double> sample);
 [[nodiscard]] double stddev(std::span<const double> sample);
 
 // Exact median via nth_element on a copy; 0 for an empty sample. Even-sized
 // samples return the midpoint of the two central order statistics.
+// Non-finite values (NaN/Inf) are excluded from the order statistics: NaN
+// comparisons would make nth_element UB, so gap markers that leak in as
+// NaN are treated as missing data, never as data.
 [[nodiscard]] double median(std::span<const double> sample);
 
 // Linear-interpolated quantile, q in [0, 1]; 0 for an empty sample.
+// Non-finite values are excluded (see median()).
 [[nodiscard]] double quantile(std::span<const double> sample, double q);
 
 // Pearson product-moment correlation coefficient in [-1, 1];

@@ -89,8 +89,20 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
        << ", \"duplicates\": " << f.duplicates
        << ", \"completeness\": " << number(f.completeness) << "}";
   }
-  os << (m.feeds.empty() ? "" : "\n  ") << "]\n";
-  os << "}\n";
+  os << (m.feeds.empty() ? "" : "\n  ") << "]";
+
+  if (m.audit_enabled) {
+    os << ",\n  \"audit\": {\"enabled\": true, \"checks\": " << m.audit_checks
+       << ", \"violations\": " << m.audit_violations << ", \"laws\": [";
+    for (std::size_t i = 0; i < m.audit_laws.size(); ++i) {
+      const auto& law = m.audit_laws[i];
+      os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(law.name)
+         << "\", \"checks\": " << law.checks
+         << ", \"violations\": " << law.violations << "}";
+    }
+    os << (m.audit_laws.empty() ? "" : "\n  ") << "]}";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace cellscope::obs

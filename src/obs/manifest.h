@@ -51,6 +51,19 @@ struct RunManifest {
     double completeness = 1.0;
   };
   std::vector<FeedSummary> feeds;
+
+  // Conservation-audit summary (mirrors audit::AuditReport counts; the obs
+  // layer stays below audit, so only plain counters cross over). Present in
+  // the JSON only when the audit ran (audit_enabled).
+  struct AuditLaw {
+    std::string name;
+    std::uint64_t checks = 0;
+    std::uint64_t violations = 0;
+  };
+  bool audit_enabled = false;
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::vector<AuditLaw> audit_laws;
 };
 
 // Serializes the manifest as a single pretty-printed JSON object.

@@ -70,6 +70,14 @@ struct ScenarioConfig {
   // per Section 2.4).
   double lte_time_share = 0.75;
 
+  // Run the conservation audit (audit/laws.h) in-process: per-day checks
+  // after each simulated KPI day plus the whole-run laws at the end, into
+  // Dataset::audit_report. Like worker_threads this is a runtime knob, not
+  // scenario identity — the audit only reads finished structures, so an
+  // audited run's Dataset is bit-identical to an unaudited one (enforced by
+  // test_determinism) and the flag stays out of config_digest.
+  bool audit = false;
+
   // Worker threads for the per-user simulation. 1 = the serial reference.
   // A pure runtime knob: the worker pool buffers every accumulation per
   // user chunk and reduces chunks in index order, so any thread count
@@ -98,8 +106,8 @@ struct ScenarioConfig {
 
 // Hex FNV-1a digest of the scenario-identifying fields (seed, window,
 // scale, collection toggles, chunk grid, fault knobs). Two configs that
-// describe the same scenario share a digest; worker_threads is deliberately
-// excluded — it is a runtime choice, not part of the scenario identity
+// describe the same scenario share a digest; worker_threads and audit are
+// deliberately excluded — runtime choices, not part of the scenario identity
 // (user_chunk, which pins the reduction order, is included). Run manifests
 // carry this so results can be matched across machines and commits.
 [[nodiscard]] std::string config_digest(const ScenarioConfig& config);

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "analysis/mobility_metrics.h"
+#include "audit/laws.h"
 #include "obs/runtime.h"
+#include "sim/dataset_audit.h"
 #include "mobility/place.h"
 #include "mobility/relocation.h"
 #include "mobility/trajectory.h"
@@ -189,6 +191,18 @@ Dataset Simulator::run(DatasetSink* sink) {
                        topology.cells().size());
   const bool faults_on = fault_plan.enabled();
 
+  // In-process conservation audit: per-day KPI checks as days close, the
+  // whole-run laws after the final merge. Read-only over finished
+  // structures — it cannot perturb the run (test_determinism compares an
+  // audited run to an unaudited one bit for bit).
+  const bool audit_on = config_.audit;
+  analysis::CellGrouping audit_partition;
+  audit::MetricBounds audit_bounds;
+  if (audit_on) {
+    audit_partition = audit::region_partition(topology);
+    audit_bounds = audit::bounds_for(topology);
+  }
+
   // Per-user structures.
   const std::size_t n_users = subscribers.size();
   std::vector<mobility::UserPlaces> user_places(n_users);
@@ -243,6 +257,7 @@ Dataset Simulator::run(DatasetSink* sink) {
   // accumulates rate*seconds here and is normalized before scheduling.
   std::vector<radio::CellHourLoad> hour_loads(n_cells * kHoursPerDay);
   std::array<double, kHoursPerDay> offnet_minutes{};
+  std::array<std::uint64_t, kHoursPerDay> voice_attempts_hour{};
   double week9_busy_hour_minutes = 0.0;
   bool interconnect_calibrated = false;
 
@@ -288,6 +303,9 @@ Dataset Simulator::run(DatasetSink* sink) {
     std::vector<radio::CellHourLoad> loads;
     std::vector<std::uint32_t> dirty;
     std::array<double, kHoursPerDay> offnet{};
+    // Call attempts per hour (for the voice ledger): integer counts, so the
+    // chunk-order merge is exact and thread-count invariant for free.
+    std::array<std::uint64_t, kHoursPerDay> voice_attempts{};
     double roamers = 0.0;
     double lte_hours = 0.0;
     double legacy_hours = 0.0;
@@ -363,6 +381,7 @@ Dataset Simulator::run(DatasetSink* sink) {
       std::fill(hour_loads.begin(), hour_loads.end(),
                 radio::CellHourLoad{});
       offnet_minutes.fill(0.0);
+      voice_attempts_hour.fill(0);
     }
     // Hour filtering only matters on days with an actual outage window.
     const bool sig_out_today =
@@ -513,6 +532,7 @@ Dataset Simulator::run(DatasetSink* sink) {
           const auto voice = voice_model.sample_hour(user, day, h, rng);
           if (voice.minutes > 0.0) {
             ++voice_calls;
+            ++b.voice_attempts[static_cast<std::size_t>(h)];
             // All off-net conversational minutes (any RAT) cross the
             // inter-MNO trunks.
             b.offnet[static_cast<std::size_t>(h)] +=
@@ -650,6 +670,10 @@ Dataset Simulator::run(DatasetSink* sink) {
           offnet_minutes[static_cast<std::size_t>(h)] +=
               b.offnet[static_cast<std::size_t>(h)];
         b.offnet.fill(0.0);
+        for (int h = 0; h < kHoursPerDay; ++h)
+          voice_attempts_hour[static_cast<std::size_t>(h)] +=
+              b.voice_attempts[static_cast<std::size_t>(h)];
+        b.voice_attempts.fill(0);
       }
     };
 
@@ -714,6 +738,43 @@ Dataset Simulator::run(DatasetSink* sink) {
           offnet_minutes.begin());
       ds.interconnect_busy_hour_loss_pct.set(day, hour_loss[busy_hour_index]);
 
+      // Classify the day's call attempts for the voice ledger. Blocked:
+      // the off-net share of attempts in hours whose offered interconnect
+      // minutes exceed trunk capacity (turned away at setup). Dropped: the
+      // in-call casualties of the hour's trunk loss among what got through.
+      // Integer floors on already-computed quantities — no RNG, no float
+      // accumulation into any other structure — so the ledger rides along
+      // without moving a bit of the existing outputs.
+      traffic::VoiceDayCalls vday;
+      vday.day = day;
+      for (int h = 0; h < kHoursPerDay; ++h) {
+        const std::uint64_t attempts =
+            voice_attempts_hour[static_cast<std::size_t>(h)];
+        vday.attempts += attempts;
+        if (attempts == 0) continue;
+        double overflow_frac = 0.0;
+        if (interconnect_calibrated) {
+          const double cap = interconnect.capacity(day);
+          const double offered = offnet_minutes[static_cast<std::size_t>(h)];
+          if (offered > cap && offered > 0.0)
+            overflow_frac = (offered - cap) / offered;
+        }
+        const auto blocked = std::min(
+            attempts,
+            static_cast<std::uint64_t>(
+                static_cast<double>(attempts) * overflow_frac *
+                config_.voice.offnet_fraction));
+        const std::uint64_t through = attempts - blocked;
+        const auto dropped = std::min(
+            through, static_cast<std::uint64_t>(
+                         static_cast<double>(through) *
+                         hour_loss[static_cast<std::size_t>(h)] / 100.0));
+        vday.blocked += blocked;
+        vday.dropped += dropped;
+        vday.completed += through - dropped;
+      }
+      ds.voice_calls.record_day(vday);
+
       std::uint64_t cells_scheduled = 0;
       const auto schedule_cell = [&](CellId cell_id) {
         ++cells_scheduled;
@@ -741,6 +802,9 @@ Dataset Simulator::run(DatasetSink* sink) {
       }
       if (!faults_on) {
         auto day_records = kpi_aggregator.finish_day();
+        if (audit_on)
+          audit::check_kpi_day(day, day_records, audit_partition,
+                               audit_bounds, ds.audit_report);
         if (sink != nullptr && !day_records.empty())
           sink->on_kpi_day(day, day_records);
         ds.kpis.add_day(std::move(day_records));
@@ -761,6 +825,12 @@ Dataset Simulator::run(DatasetSink* sink) {
         }
         ds.quality.expect("kpi-feed", day, cells_scheduled);
         ds.quality.observe("kpi-feed", day, observed);
+        // The audit sees what the feed delivered (kept rows): conservation
+        // must hold over the degraded feed too, since a duplicated row
+        // lands on both sides of every sum.
+        if (audit_on)
+          audit::check_kpi_day(day, kept, audit_partition, audit_bounds,
+                               ds.audit_report);
         if (sink != nullptr && !kept.empty()) sink->on_kpi_day(day, kept);
         ds.kpis.add_day(std::move(kept));
       }
@@ -797,6 +867,13 @@ Dataset Simulator::run(DatasetSink* sink) {
   }
 
   for (const auto& w : workers) ds.signaling.merge(w.probe);
+
+  // Whole-run conservation laws, now that the probes are merged and every
+  // store is final.
+  if (audit_on) {
+    const auto span = tracer.span("audit.global", "audit");
+    audit_dataset_global(ds, ds.audit_report);
+  }
 
   // Publish the leaf-module counters (each accumulated locally on its
   // serial path) and the run-level resource gauges.

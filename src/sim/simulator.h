@@ -25,6 +25,7 @@
 
 #include "analysis/aggregation.h"
 #include "analysis/distribution.h"
+#include "audit/report.h"
 #include "analysis/home_detection.h"
 #include "analysis/mobility_matrix.h"
 #include "analysis/validation.h"
@@ -37,6 +38,7 @@
 #include "telemetry/kpi.h"
 #include "telemetry/probes.h"
 #include "telemetry/quality.h"
+#include "traffic/voice.h"
 
 namespace cellscope::sim {
 
@@ -72,6 +74,12 @@ struct Dataset {
   telemetry::KpiStore kpis;
   telemetry::SignalingProbe signaling;
 
+  // National per-day call accounting over the KPI window: every attempt
+  // classified completed / blocked (interconnect overflow) / dropped
+  // (in-call trunk loss). Model-side bookkeeping, so measurement-plane
+  // faults never thin it — the audit's voice-accounting law closes over it.
+  traffic::VoiceCallLedger voice_calls;
+
   // Data-quality accounting for the collected feeds. Empty when the
   // scenario injects no faults (a perfect feed has nothing to report).
   telemetry::FeedQualityReport quality;
@@ -100,6 +108,12 @@ struct Dataset {
   double measured_lte_time_share = 0.0;
 
   std::size_t eligible_users = 0;
+
+  // Conservation-audit results, populated when ScenarioConfig::audit is
+  // set (empty otherwise). Derived bookkeeping about the run, not part of
+  // the run itself: the store never serializes it and dataset equality
+  // ignores it.
+  audit::AuditReport audit_report;
 
   // Convenience baselines (week-9 national averages).
   [[nodiscard]] double entropy_baseline() const {

@@ -1,8 +1,10 @@
 #include "store/dataset_io.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <string_view>
 #include <map>
 #include <memory>
 #include <utility>
@@ -57,6 +59,7 @@ enum ScalarId : std::uint64_t {
   kKpiRowCount,
   kHomeRowCount,
   kSignalingDayCount,
+  kVoiceDayCount,
 };
 
 using E = Encoding;
@@ -100,6 +103,9 @@ const std::vector<E> kMatrixSchema{E::kVarint, E::kVarint,
 const std::vector<E> kQualitySchema{E::kVarint,  E::kBytes, E::kDeltaZigzagVarint,
                                     E::kVarint,  E::kVarint, E::kVarint,
                                     E::kVarint};
+// day, attempts, completed, blocked, dropped.
+const std::vector<E> kVoiceSchema{E::kDeltaZigzagVarint, E::kVarint,
+                                  E::kVarint, E::kVarint, E::kVarint};
 // id, double bits, u64 value.
 const std::vector<E> kScalarSchema{E::kVarint, E::kRaw64, E::kVarint};
 
@@ -121,7 +127,7 @@ void write_kpi_row(FeedFileWriter& w, const telemetry::CellDayRecord& r) {
 const std::vector<std::string>& dataset_feeds() {
   static const std::vector<std::string> kFeeds = {
       "kpis",   "signaling",     "homes",  "validation", "series",
-      "distributions", "matrix", "quality", "scalars"};
+      "distributions", "matrix", "quality", "voice", "scalars"};
   return kFeeds;
 }
 
@@ -332,6 +338,19 @@ WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
   }
 
   {
+    auto w = open("voice", kVoiceSchema);
+    for (const auto& d : ds.voice_calls.days()) {
+      w.i64(0, d.day);
+      w.u64(1, d.attempts);
+      w.u64(2, d.completed);
+      w.u64(3, d.blocked);
+      w.u64(4, d.dropped);
+      w.end_row(d.day);
+    }
+    close_feed(w);
+  }
+
+  {
     auto w = open("scalars", kScalarSchema);
     const auto put = [&](ScalarId id, double fvalue, std::uint64_t uvalue) {
       w.u64(0, id);
@@ -358,6 +377,7 @@ WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
     put(kKpiRowCount, 0.0, ds.kpis.records().size());
     put(kHomeRowCount, 0.0, ds.homes.size());
     put(kSignalingDayCount, 0.0, ds.signaling.days().size());
+    put(kVoiceDayCount, 0.0, ds.voice_calls.days().size());
     close_feed(w);
   }
 
@@ -371,6 +391,11 @@ WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
     for (std::size_t i = 0; i < dataset_feeds().size(); ++i)
       manifest << (i ? "," : "") << dataset_feeds()[i];
     manifest << "\n";
+    // Physical accounting for the store-reconcile audit law: what was
+    // written must be what reads back. Readers that predate these lines
+    // skip unknown manifest rows, so the format stays backward-compatible.
+    manifest << "rows=" << stats.rows_written << "\n";
+    manifest << "bytes=" << stats.bytes_written << "\n";
     if (!manifest)
       throw std::runtime_error("store: cannot write manifest in " +
                                impl_->dir);
@@ -685,6 +710,35 @@ ReadOutcome read_dataset(const std::string& dir,
     });
   }
 
+  {
+    SimDay last_voice_day = std::numeric_limits<SimDay>::min();
+    bool any_voice = false;
+    loader.load("voice", kVoiceSchema.size(), [&](const ShardView& shard) {
+      ShardCursors c{shard};
+      std::vector<traffic::VoiceDayCalls> rows;
+      rows.reserve(shard.rows);
+      for (std::uint64_t i = 0; i < shard.rows; ++i) {
+        std::int64_t day = 0;
+        traffic::VoiceDayCalls d;
+        if (!c[0].next_i64(day) || !c[1].next_u64(d.attempts) ||
+            !c[2].next_u64(d.completed) || !c[3].next_u64(d.blocked) ||
+            !c[4].next_u64(d.dropped))
+          return false;
+        d.day = static_cast<SimDay>(day);
+        rows.push_back(d);
+      }
+      for (const auto& d : rows) {
+        // Ledger days are chronological by construction; skip any
+        // out-of-order remnant a quarantined shard left behind.
+        if (any_voice && d.day <= last_voice_day) continue;
+        ds.voice_calls.record_day(d);
+        last_voice_day = d.day;
+        any_voice = true;
+      }
+      return true;
+    });
+  }
+
   loader.load("homes", kHomesSchema.size(), [&](const ShardView& shard) {
     ShardCursors c{shard};
     std::vector<analysis::HomeRecord> rows;
@@ -906,7 +960,8 @@ ReadOutcome read_dataset(const std::string& dir,
       out.shards_quarantined == 0 && kpi_rows_dropped == 0 &&
       kpi_rows_applied == scalar_u(kKpiRowCount) &&
       ds.homes.size() == scalar_u(kHomeRowCount) &&
-      ds.signaling.days().size() == scalar_u(kSignalingDayCount);
+      ds.signaling.days().size() == scalar_u(kSignalingDayCount) &&
+      ds.voice_calls.days().size() == scalar_u(kVoiceDayCount);
 
   if (!complete) {
     // The store degraded like any other feed: account the damage in the
@@ -932,6 +987,99 @@ ReadOutcome read_dataset(const std::string& dir,
 
   out.dataset = std::move(ds);
   return out;
+}
+
+// ------------------------------------------------------------ store audit
+
+audit::AuditReport audit_store(const std::string& dir) {
+  audit::AuditReport report;
+  constexpr std::string_view kLaw = "store-reconcile";
+
+  // Parse the manifest ourselves (not just stored_digest) because the audit
+  // needs the feed list and the writer's physical accounting.
+  std::vector<std::string> feeds;
+  bool have_rows = false, have_bytes = false;
+  std::uint64_t manifest_rows = 0, manifest_bytes = 0;
+  {
+    report.add_checks(kLaw);
+    std::ifstream manifest(dir + "/" + kManifestFile, std::ios::binary);
+    std::string line;
+    if (!manifest || !std::getline(manifest, line) ||
+        line != "cellstore-v1") {
+      report.add_violation({std::string(kLaw), dir + "/" + kManifestFile,
+                            0.0, 0.0,
+                            "manifest missing or not cellstore-v1"});
+      return report;
+    }
+    while (std::getline(manifest, line)) {
+      if (line.rfind("feeds=", 0) == 0) {
+        std::string list = line.substr(6);
+        std::size_t start = 0;
+        while (start <= list.size()) {
+          const std::size_t comma = list.find(',', start);
+          const std::size_t end =
+              comma == std::string::npos ? list.size() : comma;
+          if (end > start) feeds.push_back(list.substr(start, end - start));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      } else if (line.rfind("rows=", 0) == 0) {
+        manifest_rows = std::strtoull(line.c_str() + 5, nullptr, 10);
+        have_rows = true;
+      } else if (line.rfind("bytes=", 0) == 0) {
+        manifest_bytes = std::strtoull(line.c_str() + 6, nullptr, 10);
+        have_bytes = true;
+      }
+    }
+    if (feeds.empty()) {
+      report.add_violation({std::string(kLaw), dir + "/" + kManifestFile,
+                            0.0, 0.0, "manifest lists no feeds"});
+      return report;
+    }
+  }
+
+  std::uint64_t rows_read = 0;
+  std::uint64_t bytes_read = 0;
+  for (const std::string& feed : feeds) {
+    report.add_checks(kLaw);
+    FeedFileReader reader{feed_path(dir, feed)};
+    if (reader.status() != FeedFileReader::Status::kOk) {
+      report.add_violation({std::string(kLaw), feed, 0.0, 0.0,
+                            "feed unreadable: " + reader.error()});
+      continue;
+    }
+    if (reader.quarantined_shards() > 0) {
+      report.add_violation(
+          {std::string(kLaw), feed, 0.0,
+           static_cast<double>(reader.quarantined_shards()),
+           "quarantined shards in stored feed"});
+    }
+    rows_read += reader.total_rows();
+    bytes_read += reader.file_bytes();
+  }
+
+  // Writer-side vs reader-side physical totals. Stores written before the
+  // accounting lines existed carry no rows=/bytes=; the reconciliation is
+  // then unavailable rather than violated.
+  if (have_rows) {
+    report.add_checks(kLaw);
+    if (rows_read != manifest_rows) {
+      report.add_violation({std::string(kLaw), "rows",
+                            static_cast<double>(manifest_rows),
+                            static_cast<double>(rows_read),
+                            "rows read back != rows the writer recorded"});
+    }
+  }
+  if (have_bytes) {
+    report.add_checks(kLaw);
+    if (bytes_read != manifest_bytes) {
+      report.add_violation({std::string(kLaw), "bytes",
+                            static_cast<double>(manifest_bytes),
+                            static_cast<double>(bytes_read),
+                            "bytes read back != bytes the writer recorded"});
+    }
+  }
+  return report;
 }
 
 }  // namespace cellscope::store

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/report.h"
 #include "sim/simulator.h"
 
 namespace cellscope::store {
@@ -121,5 +122,16 @@ struct ScanStats {
 ScanStats scan_kpis(
     const std::string& dir,
     const std::function<void(const telemetry::CellDayRecord&)>& row);
+
+// Physical store audit: the store-reconcile conservation law. Re-reads
+// every feed listed in `dir`'s manifest and checks that (a) the manifest is
+// present and well-formed, (b) every feed opens with zero quarantined
+// shards, and (c) the total rows and bytes read back equal the rows=/bytes=
+// accounting the writer recorded at finish() — what was written is what
+// reads back, with nothing lost, truncated or grown in between. Stores
+// written before the accounting lines existed skip check (c) (the lines
+// are absent, not zero). Read-only; never throws on corruption — damage
+// becomes violations.
+[[nodiscard]] audit::AuditReport audit_store(const std::string& dir);
 
 }  // namespace cellscope::store

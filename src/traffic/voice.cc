@@ -54,4 +54,15 @@ HourVoice VoiceModel::sample_hour(const population::Subscriber& user,
   return voice;
 }
 
+void VoiceCallLedger::record_day(const VoiceDayCalls& day) {
+  days_.push_back(day);
+  total_attempts_ += day.attempts;
+}
+
+const VoiceDayCalls* VoiceCallLedger::day(SimDay day) const {
+  for (const auto& d : days_)
+    if (d.day == day) return &d;
+  return nullptr;
+}
+
 }  // namespace cellscope::traffic

@@ -9,6 +9,9 @@
 // UL/DL. A fraction of minutes is off-net and traverses the interconnect.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.h"
 #include "common/simtime.h"
 #include "mobility/policy.h"
@@ -50,6 +53,47 @@ class VoiceModel {
  private:
   const mobility::PolicyTimeline& policy_;
   VoiceParams params_;
+};
+
+// One KPI day of the national call-accounting ledger: every call attempt
+// classified as completed, blocked (off-net attempts turned away when the
+// offered interconnect load exceeds trunk capacity) or dropped (calls cut
+// by in-call trunk loss). The audit subsystem's voice-accounting law
+// requires attempts == completed + blocked + dropped to hold exactly —
+// an attempt that lands in no bucket (or two) is double-counting between
+// the voice model and the interconnect.
+struct VoiceDayCalls {
+  SimDay day = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t dropped = 0;
+};
+
+// Chronological per-day call accounting for the KPI window. Model-side
+// bookkeeping (what subscribers attempted), so measurement-plane fault
+// injection never perturbs it — a degraded feed loses records, not calls.
+class VoiceCallLedger {
+ public:
+  // Appends one day's classified counts. Days must arrive in order.
+  void record_day(const VoiceDayCalls& day);
+
+  [[nodiscard]] const std::vector<VoiceDayCalls>& days() const {
+    return days_;
+  }
+  [[nodiscard]] const VoiceDayCalls* day(SimDay day) const;
+  [[nodiscard]] bool empty() const { return days_.empty(); }
+
+  // Lifetime attempt count across every recorded day, accumulated
+  // independently of the per-day rows so serialization bugs that clip a
+  // day cannot go unnoticed (the audit cross-checks the two).
+  [[nodiscard]] std::uint64_t total_attempts() const {
+    return total_attempts_;
+  }
+
+ private:
+  std::vector<VoiceDayCalls> days_;
+  std::uint64_t total_attempts_ = 0;
 };
 
 }  // namespace cellscope::traffic

@@ -184,6 +184,22 @@ inline void expect_datasets_identical(const Dataset& a, const Dataset& b) {
     EXPECT_EQ(da.failures, db.failures) << "day " << da.day;
   }
 
+  // Voice call accounting (the audit's voice-accounting law input).
+  ASSERT_EQ(a.voice_calls.days().size(), b.voice_calls.days().size());
+  for (std::size_t i = 0; i < a.voice_calls.days().size(); ++i) {
+    const auto& va = a.voice_calls.days()[i];
+    const auto& vb = b.voice_calls.days()[i];
+    EXPECT_EQ(va.day, vb.day);
+    EXPECT_EQ(va.attempts, vb.attempts) << "day " << va.day;
+    EXPECT_EQ(va.completed, vb.completed) << "day " << va.day;
+    EXPECT_EQ(va.blocked, vb.blocked) << "day " << va.day;
+    EXPECT_EQ(va.dropped, vb.dropped) << "day " << va.day;
+  }
+  EXPECT_EQ(a.voice_calls.total_attempts(), b.voice_calls.total_attempts());
+  // ds.audit_report is deliberately NOT compared: it is derived bookkeeping
+  // about the dataset, not part of the dataset, and only exists when the
+  // run had audit enabled.
+
   // Quality ledger, interconnect diagnostics, scalars.
   expect_quality_identical(a.quality, b.quality);
   expect_series_identical(a.offnet_busy_hour_minutes,

@@ -89,6 +89,22 @@ TEST(DeterminismContract, DigestExcludesThreadsIncludesChunk) {
   EXPECT_NE(config_digest(a), config_digest(b));
 }
 
+// The conservation audit is passive bookkeeping: an audited run must
+// produce the same Dataset, bit for bit, as an unaudited one — observing
+// the run cannot change it. The audit flag, like worker_threads, stays out
+// of the config digest for the same reason.
+TEST(DeterminismContract, AuditedRunBitIdenticalToUnaudited) {
+  auto config = matrix_config();
+  config.worker_threads = 2;
+  const Dataset plain = run_scenario(config);
+  config.audit = true;
+  const Dataset audited = run_scenario(config);
+  EXPECT_GT(audited.audit_report.checks_evaluated(), 0u);
+  EXPECT_TRUE(audited.audit_report.clean());
+  expect_datasets_identical(plain, audited);
+  EXPECT_EQ(config_digest(plain.config), config_digest(audited.config));
+}
+
 TEST(DeterminismContract, RejectsBadChunkSize) {
   auto config = matrix_config();
   config.user_chunk = 0;

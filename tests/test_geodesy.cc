@@ -1,6 +1,8 @@
 // Geographic primitives: distances, centroids, offsets.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/geodesy.h"
 
 namespace cellscope {
@@ -87,6 +89,27 @@ TEST(OffsetKm, DiagonalPythagoras) {
   const LatLon origin{53.0, -2.0};
   const LatLon moved = offset_km(origin, 3.0, 4.0);
   EXPECT_NEAR(distance_km(origin, moved), 5.0, 0.05);
+}
+
+TEST(OffsetKm, FiniteNearThePole) {
+  // cos(lat) -> 0 at the poles, so an unclamped east offset divides by ~0
+  // and the longitude blows up (inf at exactly 90). The clamp at cos(89.9)
+  // caps the amplification; all outputs stay finite and in range.
+  for (const double lat : {89.95, 90.0, -89.95, -90.0}) {
+    const LatLon moved = offset_km({lat, 10.0}, 5.0, 0.0);
+    EXPECT_TRUE(std::isfinite(moved.lat_deg)) << "lat " << lat;
+    EXPECT_TRUE(std::isfinite(moved.lon_deg)) << "lat " << lat;
+    EXPECT_NEAR(moved.lat_deg, lat, 1e-12);
+    // 5 km east at the clamped cos(89.9): at most ~26 degrees of longitude.
+    EXPECT_LT(std::abs(moved.lon_deg - 10.0), 30.0) << "lat " << lat;
+  }
+}
+
+TEST(OffsetKm, ClampDoesNotPerturbMidLatitudes) {
+  // The UK grid lives near 50-60N; the pole clamp must be a no-op there.
+  const LatLon origin{60.0, -1.0};
+  const LatLon east = offset_km(origin, 10.0, 0.0);
+  EXPECT_NEAR(distance_km(origin, east), 10.0, 0.05);
 }
 
 TEST(BoundingBox, ContainsAndCenter) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/stats.h"
@@ -19,9 +20,25 @@ TEST(Mean, Basics) {
 TEST(Variance, Basics) {
   EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
-  // Population variance of {2, 4}: mean 3, var ((1)+(1))/2 = 1.
-  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2.0, 4.0}), 1.0);
-  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{2.0, 4.0}), 1.0);
+  // Sample variance of {2, 4}: mean 3, var ((1)+(1))/(2-1) = 2.
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{2.0, 4.0}), std::sqrt(2.0));
+  // {1..5}: mean 3, sum of squared deviations 10, sample variance 10/4.
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}),
+                   2.5);
+}
+
+TEST(Quantile, IgnoresNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaNs would poison std::nth_element's strict-weak-ordering contract;
+  // the quantile is taken over the finite subset only.
+  const std::vector<double> v = {nan, 10.0, nan, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(median(v), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{nan, nan}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{nan}), 0.0);
 }
 
 TEST(Median, OddAndEven) {
@@ -185,6 +202,16 @@ TEST(Summarize, Empty) {
   const Summary s = summarize({});
   EXPECT_EQ(s.n, 0u);
   EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Summarize, PercentilesSkipNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> v = {nan, 1.0, 2.0, 3.0, nan};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 5u);  // n counts the raw sample, percentiles only finites
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.p10, 1.2);
+  EXPECT_DOUBLE_EQ(s.p90, 2.8);
 }
 
 TEST(SampleBuffer, Lifecycle) {
