@@ -25,26 +25,42 @@
 //                            prints after the figures; any violation exits 3
 //                            (after writing <slug>.audit.{json,csv} when
 //                            CELLSCOPE_OBS_DIR is set). "0"/unset: off.
+//   CELLSCOPE_CRASH_AT_DAY   crash injection (docs/RECOVERY.md): SIGKILL the
+//                            process right after the n-th day's checkpoint
+//                            is published. Requires CELLSCOPE_STORE_DIR —
+//                            the point is to leave a resumable store behind.
 // Malformed numeric overrides exit with status 2 and a one-line error.
+//
+// Crash-safe execution (docs/RECOVERY.md): every bench installs SIGINT /
+// SIGTERM handlers that request a cooperative interrupt; the simulator
+// unwinds at the next day boundary with its checkpoint flushed, the bench
+// still writes the obs manifest + quality ledger for the partial run, and
+// exits 4 (interrupted — resumable) as opposed to 5 (a day failed after the
+// supervisor exhausted its retries — also resumable, rerun to retry).
 #pragma once
 
 #include <cctype>
 #include <charconv>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/table.h"
 #include "common/timeseries.h"
 #include "obs/manifest.h"
 #include "obs/runtime.h"
 #include "sim/dataset_audit.h"
+#include "sim/interrupt.h"
 #include "sim/simulator.h"
+#include "sim/supervisor.h"
 #include "store/dataset_io.h"
 
 namespace cellscope::bench {
@@ -125,11 +141,14 @@ inline std::string slugify(const std::string& text) {
 
 // Standard observability epilogue: prints the phase-timing summary and
 // writes the Chrome trace, per-phase CSV and run manifest into
-// CELLSCOPE_OBS_DIR. Only called when the runtime is enabled.
+// CELLSCOPE_OBS_DIR. Only called when the runtime is enabled. Every file
+// publishes atomically (tmp + fsync + rename) so a crash mid-epilogue never
+// leaves a torn manifest; `interrupted` marks a SIGINT/SIGTERM run whose
+// manifest describes a resumable partial dataset.
 inline void write_obs_outputs(const std::string& slug,
                               const sim::ScenarioConfig& config,
                               const sim::Dataset& data,
-                              double wall_seconds) {
+                              double wall_seconds, bool interrupted = false) {
   const std::string dir = obs::ensure_obs_dir(obs::obs_dir_from_env());
   obs::Tracer& tracer = obs::tracer();
 
@@ -171,31 +190,34 @@ inline void write_obs_outputs(const std::string& slug,
     summary.completeness = feed.completeness();
     manifest.feeds.push_back(std::move(summary));
   }
+  manifest.interrupted = interrupted;
+  manifest.resumed = data.recovery.resumed;
+  manifest.resumed_from_day = data.recovery.resumed
+                                  ? static_cast<int>(data.recovery.resumed_from_day)
+                                  : -1;
+  manifest.supervisor_retries = data.recovery.supervisor_retries;
+  manifest.supervisor_failures = data.recovery.supervisor_failures;
+  manifest.supervisor_stalls = data.recovery.supervisor_stalls;
 
   const std::string base = dir + "/" + slug;
-  {
-    std::ofstream out(base + ".trace.json");
-    tracer.write_chrome_trace(out);
-  }
-  {
-    std::ofstream out(base + ".phases.csv");
-    tracer.write_phase_csv(out);
-  }
-  {
-    std::ofstream out(base + ".manifest.json");
-    obs::write_manifest_json(out, manifest);
-  }
+  const auto publish = [](const std::string& path, const auto& write) {
+    std::ostringstream out;
+    write(out);
+    write_file_atomic(path, out.str());
+  };
+  publish(base + ".trace.json",
+          [&](std::ostream& out) { tracer.write_chrome_trace(out); });
+  publish(base + ".phases.csv",
+          [&](std::ostream& out) { tracer.write_phase_csv(out); });
+  publish(base + ".manifest.json",
+          [&](std::ostream& out) { obs::write_manifest_json(out, manifest); });
   if (config.audit) {
     // Machine-readable audit report next to the manifest (CI uploads the
     // JSON as an artifact).
-    {
-      std::ofstream out(base + ".audit.json");
-      data.audit_report.write_json(out);
-    }
-    {
-      std::ofstream out(base + ".audit.csv");
-      data.audit_report.write_csv(out);
-    }
+    publish(base + ".audit.json",
+            [&](std::ostream& out) { data.audit_report.write_json(out); });
+    publish(base + ".audit.csv",
+            [&](std::ostream& out) { data.audit_report.write_csv(out); });
   }
 
   print_banner(std::cout, "Observability: phase timing");
@@ -221,8 +243,26 @@ inline void write_obs_outputs(const std::string& slug,
 // simulation it replaces (test_store_replay), so cached benches print the
 // exact same figures.
 inline sim::Dataset load_or_run(const sim::ScenarioConfig& config) {
+  store::StoreRunOptions options;
+  if (const char* crash = std::getenv("CELLSCOPE_CRASH_AT_DAY")) {
+    const auto value = parse_env_count("CELLSCOPE_CRASH_AT_DAY", crash);
+    if (value > 0x7fffffffULL) {
+      std::cerr << "CELLSCOPE_CRASH_AT_DAY: value '" << crash
+                << "' out of range\n";
+      std::exit(2);
+    }
+    options.kill_after_days = static_cast<int>(value);
+  }
   const char* root = std::getenv("CELLSCOPE_STORE_DIR");
-  if (root == nullptr || root[0] == '\0') return sim::run_scenario(config);
+  if (root == nullptr || root[0] == '\0') {
+    if (options.kill_after_days > 0) {
+      // Crash injection without a store would just lose the run: the whole
+      // point is dying with a resumable checkpoint behind.
+      std::cerr << "CELLSCOPE_CRASH_AT_DAY requires CELLSCOPE_STORE_DIR\n";
+      std::exit(2);
+    }
+    return sim::run_scenario(config);
+  }
   const std::string dir =
       std::string(root) + "/" + sim::config_digest(config);
   auto outcome = store::read_dataset(dir, config);
@@ -235,7 +275,7 @@ inline sim::Dataset load_or_run(const sim::ScenarioConfig& config) {
   if (outcome.status == store::ReadOutcome::Status::kDegraded)
     std::cout << "(cellstore " << dir << " degraded — " << outcome.error
               << "; re-simulating)\n";
-  return store::simulate_to_store(config, dir);
+  return store::simulate_to_store(config, dir, options);
 }
 
 inline sim::Dataset run_figure_scenario(bool with_kpis,
@@ -260,11 +300,48 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
   // Observability is opt-in via CELLSCOPE_OBS_DIR; with it unset the run is
   // untouched and no files are written.
   const bool obs_on = obs::enable_from_env();
+  // Cooperative interrupts: ^C / SIGTERM request a stop at the next day
+  // boundary, after that day's checkpoint is flushed (docs/RECOVERY.md).
+  sim::reset_interrupt();
+  std::signal(SIGINT, [](int) { sim::request_interrupt(); });
+  std::signal(SIGTERM, [](int) { sim::request_interrupt(); });
   const auto start = std::chrono::steady_clock::now();
-  auto data = load_or_run(config);
+  sim::Dataset data;
+  try {
+    data = load_or_run(config);
+  } catch (const sim::RunInterrupted& stop) {
+    const double wall_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+    std::cout << "\n(interrupted after day " << stop.last_completed_day
+              << "; checkpoint flushed — rerun with the same "
+                 "CELLSCOPE_STORE_DIR to resume)\n";
+    if (stop.partial != nullptr) {
+      for (const auto& feed : stop.partial->quality.feeds())
+        std::cout << "  feed " << feed.name << ": " << feed.observed_records
+                  << "/" << feed.expected_records << " records ("
+                  << feed.completeness() * 100.0 << "% complete)\n";
+      if (obs_on)
+        write_obs_outputs(slugify(banner), config, *stop.partial,
+                          wall_seconds, /*interrupted=*/true);
+    }
+    std::exit(4);
+  } catch (const sim::DayFailed& failed) {
+    std::cerr << "day " << failed.day
+              << " failed after exhausting supervisor retries: "
+              << failed.what()
+              << "\n(previous day's checkpoint is intact — rerun with the "
+                 "same CELLSCOPE_STORE_DIR to retry from there)\n";
+    std::exit(5);
+  }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (data.recovery.resumed)
+    std::cout << "(resumed from checkpoint: days through "
+              << data.recovery.resumed_from_day
+              << " restored, simulation continued from day "
+              << data.recovery.resumed_from_day + 1 << ")\n";
   if (config.audit) {
     // A simulated run audited itself in-process (checks > 0); a replayed
     // store arrives unaudited, so run the full post-hoc pass over it here.

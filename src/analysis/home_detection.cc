@@ -69,6 +69,48 @@ HomeDetectionStats HomeDetector::stats() const {
   return stats;
 }
 
+std::vector<HomeDetector::SavedUserState> HomeDetector::save_state() const {
+  std::vector<SavedUserState> saved;
+  saved.reserve(users_.size());
+  for (const auto& [user_value, acc] : users_) {
+    SavedUserState s;
+    s.user = user_value;
+    s.nights = acc.nights;
+    s.last_night_day = acc.last_night_day;
+    s.sites.reserve(acc.site_night_hours.size());
+    for (const auto& [site, hours] : acc.site_night_hours) {
+      SavedUserState::Site entry;
+      entry.site = site;
+      entry.night_hours = hours;
+      const auto geo = acc.site_geo.find(site);
+      if (geo != acc.site_geo.end()) {
+        entry.district = geo->second.first;
+        entry.county = geo->second.second;
+      }
+      s.sites.push_back(entry);
+    }
+    saved.push_back(std::move(s));
+  }
+  std::sort(saved.begin(), saved.end(),
+            [](const SavedUserState& a, const SavedUserState& b) {
+              return a.user < b.user;
+            });
+  return saved;
+}
+
+void HomeDetector::restore_state(const std::vector<SavedUserState>& saved) {
+  users_.clear();
+  for (const SavedUserState& s : saved) {
+    UserAccumulator& acc = users_[s.user];
+    acc.nights = s.nights;
+    acc.last_night_day = s.last_night_day;
+    for (const auto& site : s.sites) {
+      acc.site_night_hours[site.site] = site.night_hours;
+      acc.site_geo[site.site] = {site.district, site.county};
+    }
+  }
+}
+
 std::optional<HomeRecord> HomeDetector::home_of(UserId user) const {
   const auto it = users_.find(user.value());
   if (it == users_.end()) return std::nullopt;

@@ -10,6 +10,7 @@
 // users this way).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -66,12 +67,34 @@ class HomeDetector {
 
   [[nodiscard]] const HomeDetectionParams& params() const { return params_; }
 
+  // Checkpoint support (docs/RECOVERY.md): mid-window accumulator state as
+  // plain structs, sorted by user then site, so a resumed run rebuilds an
+  // accumulator that finalizes to the exact same homes.
+  struct SavedUserState {
+    struct Site {
+      std::uint32_t site = 0;
+      double night_hours = 0.0;
+      std::uint32_t district = 0;
+      std::uint32_t county = 0;
+    };
+    std::uint32_t user = 0;
+    std::uint32_t nights = 0;
+    SimDay last_night_day = -1;
+    std::vector<Site> sites;
+  };
+  [[nodiscard]] std::vector<SavedUserState> save_state() const;
+  // Replaces the accumulator state (callers restore into a fresh detector).
+  void restore_state(const std::vector<SavedUserState>& saved);
+
  private:
   struct UserAccumulator {
-    // Night dwell hours per candidate tower.
-    std::unordered_map<std::uint32_t, double> site_night_hours;
+    // Night dwell hours per candidate tower. Ordered maps, deliberately:
+    // finalize() breaks exact dwell ties by taking the first maximum, so
+    // iteration order is part of the result — it must survive a checkpoint
+    // save/restore cycle, which hash iteration order does not.
+    std::map<std::uint32_t, double> site_night_hours;
     // Per-tower metadata (first observation wins; topology is stable).
-    std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+    std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
         site_geo;  // site -> (district, county)
     std::uint32_t nights = 0;
     SimDay last_night_day = -1;

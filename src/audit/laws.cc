@@ -440,4 +440,54 @@ void check_mobility_ranges(const analysis::GroupedDailySeries& entropy,
                            report);
 }
 
+void check_checkpoint_consistency(SimDay resumed_from_day,
+                                  std::uint64_t recorded_kpi_rows,
+                                  std::uint64_t recorded_voice_attempts,
+                                  std::uint64_t recorded_signaling_days,
+                                  const telemetry::KpiStore& kpis,
+                                  const traffic::VoiceCallLedger& voice,
+                                  const telemetry::SignalingProbe& signaling,
+                                  AuditReport& report) {
+  constexpr const char* kLaw = "checkpoint-consistency";
+  const std::string subject = "resumed from " + day_subject(resumed_from_day);
+
+  // Each final ledger's prefix (days <= resume day) must equal what the
+  // restore produced — integer counts, so equality is exact.
+  std::uint64_t kpi_rows = 0;
+  for (const auto& r : kpis.records())
+    if (r.day <= resumed_from_day) ++kpi_rows;
+  report.add_checks(kLaw);
+  if (kpi_rows != recorded_kpi_rows) {
+    report.add_violation({kLaw, "kpis / " + subject,
+                          static_cast<double>(recorded_kpi_rows),
+                          static_cast<double>(kpi_rows),
+                          "KPI rows at or before the resume day != rows "
+                          "restored from the checkpoint"});
+  }
+
+  std::uint64_t voice_attempts = 0;
+  for (const auto& d : voice.days())
+    if (d.day <= resumed_from_day) voice_attempts += d.attempts;
+  report.add_checks(kLaw);
+  if (voice_attempts != recorded_voice_attempts) {
+    report.add_violation({kLaw, "voice / " + subject,
+                          static_cast<double>(recorded_voice_attempts),
+                          static_cast<double>(voice_attempts),
+                          "voice attempts at or before the resume day != "
+                          "attempts restored from the checkpoint"});
+  }
+
+  std::uint64_t signaling_days = 0;
+  for (const auto& d : signaling.days())
+    if (d.day <= resumed_from_day) ++signaling_days;
+  report.add_checks(kLaw);
+  if (signaling_days != recorded_signaling_days) {
+    report.add_violation({kLaw, "signaling / " + subject,
+                          static_cast<double>(recorded_signaling_days),
+                          static_cast<double>(signaling_days),
+                          "signaling days at or before the resume day != "
+                          "days restored from the checkpoint"});
+  }
+}
+
 }  // namespace cellscope::audit

@@ -111,4 +111,20 @@ void check_mobility_ranges(const analysis::GroupedDailySeries& entropy,
                            const analysis::DistributionSeries& gyration_dist,
                            const MetricBounds& bounds, AuditReport& report);
 
+// checkpoint-consistency: only meaningful for a RESUMED run. The simulator
+// records the restored ledger sizes (KPI rows, lifetime voice attempts,
+// signaling days) at the moment it fast-forwards; this law re-derives each
+// from the FINAL ledgers' prefix up to the resume day and requires exact
+// equality — a resumed run that re-simulated a checkpointed day (double
+// count) or skipped one (loss) cannot reconcile. Never runs for fresh
+// runs: there is no restore point to reconcile against.
+void check_checkpoint_consistency(SimDay resumed_from_day,
+                                  std::uint64_t recorded_kpi_rows,
+                                  std::uint64_t recorded_voice_attempts,
+                                  std::uint64_t recorded_signaling_days,
+                                  const telemetry::KpiStore& kpis,
+                                  const traffic::VoiceCallLedger& voice,
+                                  const telemetry::SignalingProbe& signaling,
+                                  AuditReport& report);
+
 }  // namespace cellscope::audit

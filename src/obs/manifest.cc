@@ -89,7 +89,15 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
        << ", \"duplicates\": " << f.duplicates
        << ", \"completeness\": " << number(f.completeness) << "}";
   }
-  os << (m.feeds.empty() ? "" : "\n  ") << "]";
+  os << (m.feeds.empty() ? "" : "\n  ") << "],\n";
+
+  os << "  \"recovery\": {\"interrupted\": "
+     << (m.interrupted ? "true" : "false")
+     << ", \"resumed\": " << (m.resumed ? "true" : "false")
+     << ", \"resumed_from_day\": " << m.resumed_from_day
+     << ", \"supervisor_retries\": " << m.supervisor_retries
+     << ", \"supervisor_failures\": " << m.supervisor_failures
+     << ", \"supervisor_stalls\": " << m.supervisor_stalls << "}";
 
   if (m.audit_enabled) {
     os << ",\n  \"audit\": {\"enabled\": true, \"checks\": " << m.audit_checks

@@ -64,6 +64,19 @@ struct RunManifest {
   std::uint64_t audit_checks = 0;
   std::uint64_t audit_violations = 0;
   std::vector<AuditLaw> audit_laws;
+
+  // Crash-safety summary (docs/RECOVERY.md). Always emitted — CI asserts on
+  // these fields without probing for key presence. `interrupted` marks a run
+  // cut short by SIGINT/SIGTERM (checkpoint flushed, resumable); `resumed`
+  // marks a run that fast-forwarded from a checkpoint, in which case
+  // `resumed_from_day` is the last restored day. The supervisor counters
+  // mirror the `supervisor.*` metrics.
+  bool interrupted = false;
+  bool resumed = false;
+  int resumed_from_day = -1;
+  std::uint64_t supervisor_retries = 0;
+  std::uint64_t supervisor_failures = 0;
+  std::uint64_t supervisor_stalls = 0;
 };
 
 // Serializes the manifest as a single pretty-printed JSON object.

@@ -34,6 +34,16 @@ void audit_dataset_global(const Dataset& ds, audit::AuditReport& report) {
                           ds.measured_lte_time_share,
                           "4G time share outside [0, 1]"});
   }
+
+  // Resumed runs only: the restored ledger prefixes must reconcile with
+  // the sizes recorded at the moment of the fast-forward.
+  if (ds.recovery.resumed) {
+    audit::check_checkpoint_consistency(
+        ds.recovery.resumed_from_day, ds.recovery.checkpoint_kpi_rows,
+        ds.recovery.checkpoint_voice_attempts,
+        ds.recovery.checkpoint_signaling_days, ds.kpis, ds.voice_calls,
+        ds.signaling, report);
+  }
 }
 
 audit::AuditReport audit_dataset(const Dataset& ds) {

@@ -1,0 +1,30 @@
+#include "sim/interrupt.h"
+
+#include <atomic>
+#include <string>
+
+namespace cellscope::sim {
+
+namespace {
+std::atomic<bool> g_interrupt{false};
+}  // namespace
+
+void request_interrupt() noexcept {
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+bool interrupt_requested() noexcept {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void reset_interrupt() noexcept {
+  g_interrupt.store(false, std::memory_order_relaxed);
+}
+
+RunInterrupted::RunInterrupted(SimDay day, std::shared_ptr<Dataset> ds)
+    : std::runtime_error("simulation interrupted after day " +
+                         std::to_string(day) + "; checkpoint flushed"),
+      last_completed_day(day),
+      partial(std::move(ds)) {}
+
+}  // namespace cellscope::sim

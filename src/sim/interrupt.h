@@ -1,0 +1,40 @@
+// Cooperative interruption of a running simulation.
+//
+// The bench harness installs SIGINT/SIGTERM handlers that set a global
+// flag (the only thing a signal handler may safely do); the simulator
+// polls it at day boundaries — immediately after the day's checkpoint is
+// persisted — and unwinds with RunInterrupted. The day granularity is
+// deliberate: it is exactly the checkpoint granularity, so an interrupted
+// run is always resumable from where it stopped and never loses a
+// completed day. See docs/RECOVERY.md.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/simtime.h"
+
+namespace cellscope::sim {
+
+struct Dataset;
+
+// Async-signal-safe: sets the process-wide interrupt flag.
+void request_interrupt() noexcept;
+[[nodiscard]] bool interrupt_requested() noexcept;
+// Clears the flag (start of a run, and tests).
+void reset_interrupt() noexcept;
+
+// Thrown by Simulator::run() when the interrupt flag is observed at a day
+// boundary. The day's checkpoint (if a CheckpointSink is attached) has
+// already been flushed; `partial` carries the dataset as of
+// `last_completed_day` so the harness can still print quality/obs
+// summaries before exiting.
+class RunInterrupted : public std::runtime_error {
+ public:
+  RunInterrupted(SimDay last_completed_day, std::shared_ptr<Dataset> partial);
+
+  SimDay last_completed_day;
+  std::shared_ptr<Dataset> partial;
+};
+
+}  // namespace cellscope::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "analysis/mobility_metrics.h"
@@ -12,7 +14,9 @@
 #include "mobility/relocation.h"
 #include "mobility/trajectory.h"
 #include "radio/scheduler.h"
+#include "sim/interrupt.h"
 #include "sim/pool.h"
+#include "sim/supervisor.h"
 #include "traffic/demand.h"
 #include "traffic/voice.h"
 
@@ -52,9 +56,11 @@ PlaceCells resolve_place(const radio::RadioTopology& topology,
   return pc;
 }
 
-// Forwards signaling events to the worker's probe except while the probe is
+// Forwards signaling events to a chunk's probe except while the probe is
 // in a fault-plan outage window, counting both sides for the quality
-// report. One instance per worker; counters are reset serially each day.
+// report. One instance per chunk task, created on the worker's stack: a
+// supervised retry starts from a fresh sink, so a failed attempt leaves no
+// counts behind.
 class FilteredSignalingSink final : public traffic::SignalingSink {
  public:
   FilteredSignalingSink(const FaultPlan& plan, traffic::SignalingSink& inner)
@@ -131,7 +137,7 @@ void build_substrate(const ScenarioConfig& config, Dataset& ds) {
   ds.policy = std::make_unique<mobility::PolicyTimeline>(config.policy);
 }
 
-Dataset Simulator::run(DatasetSink* sink) {
+Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
   config_.validate();
 
   // Observability plumbing. Everything below is behind `obs_on`, a bool
@@ -215,6 +221,12 @@ Dataset Simulator::run(DatasetSink* sink) {
       user_places[i] = places_builder.build(subscribers[i], user_rng);
     }
   }
+  // Generated place counts, before the relocation model appends any refuge.
+  // The baseline regenerates from the seed, so a checkpoint serializes only
+  // the places appended beyond it.
+  std::vector<std::uint8_t> base_place_count(n_users);
+  for (std::size_t i = 0; i < n_users; ++i)
+    base_place_count[i] = static_cast<std::uint8_t>(user_places[i].size());
   const auto cells_of = [&](std::size_t user,
                             std::uint8_t place_index) -> const PlaceCells& {
     auto& resolved = place_cells[user];
@@ -315,12 +327,25 @@ Dataset Simulator::run(DatasetSink* sink) {
     // Per-day observation-feed accounting (faulted runs only).
     std::uint64_t obs_expected = 0;
     std::uint64_t obs_observed = 0;
-  };
-  // Per-worker state: streams whose merge is integer-exact and therefore
-  // order-free (probe/sink counters, metric deltas), plus reusable scratch.
-  // Nothing here can move a float bit.
-  struct WorkerCtx {
+    // Per-chunk signaling: events pass the outage filter into this probe;
+    // reduce merges it into the Dataset (integer sums, so the chunk-order
+    // merge is exact) and folds the filter counters into the day totals.
     telemetry::SignalingProbe probe;
+    std::uint64_t sig_forwarded = 0;
+    std::uint64_t sig_dropped = 0;
+    // Pre-work snapshot of the chunk's mutable per-user inputs, taken at
+    // the top of work(): user states plus each user's (place count,
+    // refuge index). The supervisor's reset restores them so a retried
+    // chunk replays the exact same decisions — including re-drawing a
+    // refuge a failed attempt already appended (sim/supervisor.h).
+    std::vector<mobility::UserState> state_snapshot;
+    std::vector<std::pair<std::uint8_t, std::uint8_t>> places_snapshot;
+  };
+  // Per-worker state: metric deltas whose merge is integer-exact and
+  // therefore order-free, plus reusable scratch. Nothing here can move a
+  // float bit, and nothing here is chunk results — a retried chunk must
+  // not be able to leave partial state outside its own buffer.
+  struct WorkerCtx {
     // Private metric deltas, folded into the registry at day end.
     obs::MetricsShard metrics;
     telemetry::UserDayObservation observation;  // scratch
@@ -334,14 +359,173 @@ Dataset Simulator::run(DatasetSink* sink) {
   const std::size_t n_chunks = (n_users + chunk_size - 1) / chunk_size;
   std::vector<ChunkBuf> chunk_bufs(pool.window());
   std::vector<WorkerCtx> workers(static_cast<std::size_t>(pool.workers()));
-  // Per-worker signaling sinks: events pass through the outage filter on
-  // their way into the worker's probe (a disabled plan forwards everything).
-  std::vector<FilteredSignalingSink> sinks;
-  sinks.reserve(workers.size());
-  for (auto& w : workers) sinks.emplace_back(fault_plan, w.probe);
+  // Supervised execution: throwing chunks are reset and retried in place,
+  // exhausted chunks fail the day (after the previous day's checkpoint is
+  // safely on disk), and a watchdog counts stalls. docs/RECOVERY.md.
+  Supervisor supervisor{pool};
+
+  // -------------------------------------------------- checkpoint/resume
+  // One blob per completed day: the run-local evolving state below, then
+  // the accumulated Dataset (sim/checkpoint.cc). Everything else regrows
+  // from the config. The restore reads the exact same sequence back.
+  constexpr std::uint64_t kRunStateVersion = 1;
+  const auto save_checkpoint = [&](SimDay day_done) {
+    BlobWriter w;
+    w.u64(kRunStateVersion);
+    w.u64(n_users);
+    for (std::size_t i = 0; i < n_users; ++i) {
+      const mobility::UserState& s = user_states[i];
+      w.u8(static_cast<std::uint8_t>(
+          (s.departed ? 1u : 0u) | (s.relocated ? 2u : 0u) |
+          (s.wfh_active ? 4u : 0u) | (s.relocation_decided ? 8u : 0u)));
+    }
+    // Refuge places the relocation model appended beyond the baseline.
+    std::uint64_t appended = 0;
+    for (std::size_t i = 0; i < n_users; ++i)
+      if (user_places[i].size() > base_place_count[i]) ++appended;
+    w.u64(appended);
+    for (std::size_t i = 0; i < n_users; ++i) {
+      const mobility::UserPlaces& places = user_places[i];
+      if (places.size() <= base_place_count[i]) continue;
+      w.u32(static_cast<std::uint32_t>(i));
+      w.u8(places.refuge_index);
+      w.u8(static_cast<std::uint8_t>(places.size() - base_place_count[i]));
+      for (std::size_t p = base_place_count[i]; p < places.size(); ++p) {
+        const mobility::Place& place = places.places[p];
+        w.u8(static_cast<std::uint8_t>(place.kind));
+        w.u32(place.district.value());
+        w.u32(place.county.value());
+        w.f64(place.location.lat_deg);
+        w.f64(place.location.lon_deg);
+        w.f64(place.weight);
+      }
+    }
+    w.u8(homes_finalized ? 1 : 0);
+    if (!homes_finalized) {
+      // Mid-warm-up: the detector's night accumulators are live state.
+      // Once finalized they are spent; ds.homes (dataset section) carries
+      // the result instead.
+      const auto saved = home_detector.save_state();
+      w.u64(saved.size());
+      for (const auto& u : saved) {
+        w.u32(u.user);
+        w.u32(u.nights);
+        w.i64(u.last_night_day);
+        w.u64(u.sites.size());
+        for (const auto& s : u.sites) {
+          w.u32(s.site);
+          w.f64(s.night_hours);
+          w.u32(s.district);
+          w.u32(s.county);
+        }
+      }
+    }
+    w.f64(week9_busy_hour_minutes);
+    w.u8(interconnect_calibrated ? 1 : 0);
+    w.f64(lte_hours);
+    w.f64(legacy_hours);
+    save_dataset_state(ds, w);
+    checkpoint->on_day_complete(day_done, w.take());
+  };
+
+  SimDay start_day = first_day;
+  if (checkpoint != nullptr && !checkpoint->resume_payload().empty()) {
+    const auto resume_span = tracer.span("setup.resume", "setup");
+    BlobReader r{checkpoint->resume_payload()};
+    if (r.u64() != kRunStateVersion)
+      throw BlobError{"checkpoint blob: unsupported run-state version"};
+    if (r.u64() != n_users)
+      throw BlobError{"checkpoint blob: user count mismatch"};
+    for (std::size_t i = 0; i < n_users; ++i) {
+      const std::uint8_t flags = r.u8();
+      mobility::UserState& s = user_states[i];
+      s.departed = (flags & 1u) != 0;
+      s.relocated = (flags & 2u) != 0;
+      s.wfh_active = (flags & 4u) != 0;
+      s.relocation_decided = (flags & 8u) != 0;
+    }
+    const std::uint64_t appended_users = r.u64();
+    for (std::uint64_t k = 0; k < appended_users; ++k) {
+      const std::uint32_t user = r.u32();
+      if (user >= n_users)
+        throw BlobError{"checkpoint blob: appended-place user out of range"};
+      mobility::UserPlaces& places = user_places[user];
+      const std::uint8_t refuge_index = r.u8();
+      const std::uint8_t n_extra = r.u8();
+      for (std::uint8_t p = 0; p < n_extra; ++p) {
+        mobility::Place place;
+        place.kind = static_cast<mobility::PlaceKind>(r.u8());
+        place.district = PostcodeDistrictId{r.u32()};
+        place.county = CountyId{r.u32()};
+        place.location.lat_deg = r.f64();
+        place.location.lon_deg = r.f64();
+        place.weight = r.f64();
+        places.places.push_back(place);
+      }
+      places.refuge_index = refuge_index;
+    }
+    homes_finalized = r.u8() != 0;
+    if (!homes_finalized) {
+      std::vector<analysis::HomeDetector::SavedUserState> saved(
+          static_cast<std::size_t>(r.u64()));
+      for (auto& u : saved) {
+        u.user = r.u32();
+        u.nights = r.u32();
+        u.last_night_day = static_cast<SimDay>(r.i64());
+        u.sites.resize(static_cast<std::size_t>(r.u64()));
+        for (auto& s : u.sites) {
+          s.site = r.u32();
+          s.night_hours = r.f64();
+          s.district = r.u32();
+          s.county = r.u32();
+        }
+      }
+      home_detector.restore_state(saved);
+    }
+    week9_busy_hour_minutes = r.f64();
+    interconnect_calibrated = r.u8() != 0;
+    lte_hours = r.f64();
+    legacy_hours = r.f64();
+    restore_dataset_state(ds, r);
+    if (!r.done()) throw BlobError{"checkpoint blob: trailing bytes"};
+
+    // Derived state the blob does not carry: the interconnect's capacity
+    // (a pure function of the calibration scalar) and the London tracking
+    // flags (a pure function of the restored homes).
+    if (interconnect_calibrated)
+      interconnect.calibrate(std::max(week9_busy_hour_minutes, 1.0));
+    if (homes_finalized && inner_london) {
+      for (const auto& home : ds.homes)
+        if (home.home_county == *inner_london)
+          tracked_london[home.user.value()] = 1;
+    }
+
+    start_day = checkpoint->resume_day() + 1;
+    ds.recovery.resumed = true;
+    ds.recovery.resumed_from_day = checkpoint->resume_day();
+    ds.recovery.checkpoint_kpi_rows = ds.kpis.records().size();
+    ds.recovery.checkpoint_voice_attempts = ds.voice_calls.total_attempts();
+    ds.recovery.checkpoint_signaling_days = ds.signaling.days().size();
+
+    // Re-stream the restored KPI days through the sink in their original
+    // day batches: a streaming store sees the exact row sequence of the
+    // uninterrupted run, so its bytes come out identical.
+    if (sink != nullptr) {
+      const auto& records = ds.kpis.records();
+      std::size_t lo = 0;
+      while (lo < records.size()) {
+        std::size_t hi = lo;
+        while (hi < records.size() && records[hi].day == records[lo].day) ++hi;
+        sink->on_kpi_day(records[lo].day,
+                         std::span<const telemetry::CellDayRecord>{
+                             records.data() + lo, hi - lo});
+        lo = hi;
+      }
+    }
+  }
 
   // ------------------------------------------------------------- main loop
-  for (SimDay day = first_day; day <= last_day; ++day) {
+  for (SimDay day = start_day; day <= last_day; ++day) {
     auto day_span = tracer.span("day", "sim", day);
     const auto day_clock_start = std::chrono::steady_clock::now();
 
@@ -377,6 +561,8 @@ Dataset Simulator::run(DatasetSink* sink) {
     double roamers_today = 0.0;
     std::uint64_t obs_expected_today = 0;
     std::uint64_t obs_observed_today = 0;
+    std::uint64_t sig_forwarded_today = 0;
+    std::uint64_t sig_dropped_today = 0;
     if (kpi_day) {
       std::fill(hour_loads.begin(), hour_loads.end(),
                 radio::CellHourLoad{});
@@ -610,8 +796,58 @@ Dataset Simulator::run(DatasetSink* sink) {
                       static_cast<std::uint32_t>(worker + 1));
       ChunkBuf& b = chunk_bufs[slot];
       WorkerCtx& ctx = workers[worker];
-      FilteredSignalingSink& sink = sinks[worker];
+      // Snapshot the chunk's mutable inputs so a supervised retry can
+      // rewind to exactly this point.
+      b.state_snapshot.assign(
+          user_states.begin() + static_cast<std::ptrdiff_t>(begin),
+          user_states.begin() + static_cast<std::ptrdiff_t>(end));
+      b.places_snapshot.clear();
+      for (std::size_t i = begin; i < end; ++i)
+        b.places_snapshot.emplace_back(
+            static_cast<std::uint8_t>(user_places[i].size()),
+            user_places[i].refuge_index);
+      FilteredSignalingSink sink{fault_plan, b.probe};
       for (std::size_t i = begin; i < end; ++i) process_user(i, b, ctx, sink);
+      b.sig_forwarded = sink.forwarded();
+      b.sig_dropped = sink.dropped();
+    };
+
+    // Rewinds a chunk to its pre-work snapshot after a failed attempt:
+    // per-user state and any refuge place the attempt appended roll back,
+    // every buffer accumulator clears. With the inputs restored, the rerun
+    // draws the same per-user RNG forks and reproduces the attempt bit for
+    // bit — so a retried chunk is indistinguishable in the Dataset.
+    const auto reset_chunk = [&](std::size_t chunk, std::size_t slot) {
+      ChunkBuf& b = chunk_bufs[slot];
+      const std::size_t begin = chunk * chunk_size;
+      std::copy(b.state_snapshot.begin(), b.state_snapshot.end(),
+                user_states.begin() + static_cast<std::ptrdiff_t>(begin));
+      for (std::size_t k = 0; k < b.places_snapshot.size(); ++k) {
+        mobility::UserPlaces& places = user_places[begin + k];
+        const auto [n_places, refuge] = b.places_snapshot[k];
+        if (places.places.size() > n_places) places.places.resize(n_places);
+        places.refuge_index = refuge;
+        // The lazy serving-cell cache may have resolved the rolled-back
+        // place; truncate so the rerun re-resolves it identically.
+        auto& resolved = place_cells[begin + k];
+        if (resolved.size() > n_places) resolved.resize(n_places);
+      }
+      for (const auto load_index : b.dirty)
+        b.loads[load_index] = radio::CellHourLoad{};
+      b.dirty.clear();
+      b.offnet.fill(0.0);
+      b.voice_attempts.fill(0);
+      b.roamers = 0.0;
+      b.lte_hours = 0.0;
+      b.legacy_hours = 0.0;
+      b.mobility.clear();
+      b.detector_obs.clear();
+      b.matrix_obs.clear();
+      b.obs_expected = 0;
+      b.obs_observed = 0;
+      b.probe = telemetry::SignalingProbe{};
+      b.sig_forwarded = 0;
+      b.sig_dropped = 0;
     };
 
     // Reduce runs on this thread in ascending chunk order — the only
@@ -624,11 +860,19 @@ Dataset Simulator::run(DatasetSink* sink) {
       legacy_hours += b.legacy_hours;
       obs_expected_today += b.obs_expected;
       obs_observed_today += b.obs_observed;
+      sig_forwarded_today += b.sig_forwarded;
+      sig_dropped_today += b.sig_dropped;
       b.roamers = 0.0;
       b.lte_hours = 0.0;
       b.legacy_hours = 0.0;
       b.obs_expected = 0;
       b.obs_observed = 0;
+      b.sig_forwarded = 0;
+      b.sig_dropped = 0;
+      ds.signaling.merge(b.probe);
+      b.probe = telemetry::SignalingProbe{};
+      b.state_snapshot.clear();
+      b.places_snapshot.clear();
       for (const auto& obs : b.detector_obs) home_detector.observe(obs);
       b.detector_obs.clear();
       for (const auto& result : b.mobility) {
@@ -682,7 +926,7 @@ Dataset Simulator::run(DatasetSink* sink) {
       // completed chunks fold into the Dataset while later chunks are
       // still being simulated.
       const auto users_span = tracer.span("day.users", "sim", day);
-      pool.run(n_users, chunk_size, work, reduce);
+      supervisor.run(day, n_users, chunk_size, work, reset_chunk, reduce);
     }
 
     // --- Serial tail: everything left after the chunk reduction. ---
@@ -697,15 +941,9 @@ Dataset Simulator::run(DatasetSink* sink) {
       ds.quality.expect("user-observations", day, obs_expected_today);
       ds.quality.observe("user-observations", day, obs_observed_today);
       if (config_.collect_signaling) {
-        std::uint64_t forwarded = 0;
-        std::uint64_t dropped = 0;
-        for (auto& sink : sinks) {
-          forwarded += sink.forwarded();
-          dropped += sink.dropped();
-          sink.reset_counters();
-        }
-        ds.quality.expect("signaling-events", day, forwarded + dropped);
-        ds.quality.observe("signaling-events", day, forwarded);
+        ds.quality.expect("signaling-events", day,
+                          sig_forwarded_today + sig_dropped_today);
+        ds.quality.observe("signaling-events", day, sig_forwarded_today);
       }
     }
     apply_span.close();
@@ -864,12 +1102,25 @@ Dataset Simulator::run(DatasetSink* sink) {
               std::chrono::steady_clock::now() - day_clock_start)
               .count());
     }
+
+    // Day complete: every accumulator above is reduced and published.
+    // Persist the resumable state, then honor any pending interrupt — both
+    // only at this boundary, so a checkpoint always describes whole days
+    // and an interrupted run is exactly a resumable one.
+    if (checkpoint != nullptr) {
+      const auto ckpt_span = tracer.span("day.checkpoint", "sim", day);
+      save_checkpoint(day);
+    }
+    if (interrupt_requested() && day < last_day)
+      throw RunInterrupted{day, std::make_shared<Dataset>(std::move(ds))};
   }
 
-  for (const auto& w : workers) ds.signaling.merge(w.probe);
+  ds.recovery.supervisor_retries = supervisor.stats().retries;
+  ds.recovery.supervisor_failures = supervisor.stats().failures;
+  ds.recovery.supervisor_stalls = supervisor.stats().stalls;
 
-  // Whole-run conservation laws, now that the probes are merged and every
-  // store is final.
+  // Whole-run conservation laws, now that every store is final (signaling
+  // probes merge per chunk inside the day loop).
   if (audit_on) {
     const auto span = tracer.span("audit.global", "audit");
     audit_dataset_global(ds, ds.audit_report);
@@ -886,6 +1137,9 @@ Dataset Simulator::run(DatasetSink* sink) {
     registry.add("interconnect.hours_saturated",
                  interconnect.hours_saturated());
     registry.add("probe.signaling_events", ds.signaling.events_ingested());
+    registry.add("supervisor.retries", supervisor.stats().retries);
+    registry.add("supervisor.failures", supervisor.stats().failures);
+    registry.add("supervisor.stalls", supervisor.stats().stalls);
     std::uint64_t quarantined = 0;
     for (const auto& feed : ds.quality.feeds())
       quarantined += feed.quarantined_records;

@@ -34,6 +34,7 @@
 #include "population/device.h"
 #include "population/subscriber.h"
 #include "radio/topology.h"
+#include "sim/checkpoint.h"
 #include "sim/scenario.h"
 #include "telemetry/kpi.h"
 #include "telemetry/probes.h"
@@ -115,6 +116,25 @@ struct Dataset {
   // ignores it.
   audit::AuditReport audit_report;
 
+  // Crash-safety bookkeeping (docs/RECOVERY.md). Like audit_report this is
+  // derived metadata about HOW the run executed, not part of the run's
+  // output: the store never serializes it and dataset equality ignores it
+  // (a resumed run must be bit-identical to an uninterrupted one).
+  struct RunRecovery {
+    bool resumed = false;
+    SimDay resumed_from_day = 0;  // checkpoint high-water mark
+    // Ledger sizes recorded at restore time; the checkpoint-consistency
+    // audit law reconciles the final ledgers' prefixes against these.
+    std::uint64_t checkpoint_kpi_rows = 0;
+    std::uint64_t checkpoint_voice_attempts = 0;
+    std::uint64_t checkpoint_signaling_days = 0;
+    // Supervised-execution totals (sim/supervisor.h).
+    std::uint64_t supervisor_retries = 0;
+    std::uint64_t supervisor_failures = 0;
+    std::uint64_t supervisor_stalls = 0;
+  };
+  RunRecovery recovery;
+
   // Convenience baselines (week-9 national averages).
   [[nodiscard]] double entropy_baseline() const {
     return entropy_national.week_baseline(0, 9);
@@ -149,8 +169,15 @@ class Simulator {
   explicit Simulator(ScenarioConfig config);
 
   // Runs the whole window and returns the populated dataset. A non-null
-  // sink receives feed rows as days complete.
-  [[nodiscard]] Dataset run(DatasetSink* sink = nullptr);
+  // sink receives feed rows as days complete. A non-null checkpoint makes
+  // the run resumable: its saved state (if any) fast-forwards the run to
+  // the first incomplete day — with restored KPI days re-streamed through
+  // `sink` first, so a streaming store ends up byte-identical — and every
+  // completed day is checkpointed. Throws RunInterrupted (sim/interrupt.h)
+  // at a day boundary when an interrupt was requested, and DayFailed
+  // (sim/supervisor.h) when a day exhausted its supervised retries.
+  [[nodiscard]] Dataset run(DatasetSink* sink = nullptr,
+                            CheckpointSink* checkpoint = nullptr);
 
  private:
   ScenarioConfig config_;

@@ -9,9 +9,11 @@
 #include <memory>
 #include <utility>
 
+#include "common/atomic_file.h"
 #include "geo/admin.h"
 #include "geo/oac.h"
 #include "obs/runtime.h"
+#include "store/checkpoint.h"
 #include "store/shard.h"
 
 namespace cellscope::store {
@@ -142,6 +144,10 @@ struct DatasetWriter::Impl {
 
 DatasetWriter::DatasetWriter(std::string dir) : impl_(new Impl) {
   impl_->dir = obs::ensure_obs_dir(dir);
+  // A crashed writer leaves only *.tmp files behind (feed files publish
+  // exclusively via close()'s rename); sweep the orphans before opening
+  // fresh ones so a resumed run starts from a clean directory.
+  remove_stale_tmp_files(impl_->dir);
   impl_->kpis = std::make_unique<FeedFileWriter>(feed_path(impl_->dir, "kpis"),
                                                  kpi_schema());
 }
@@ -381,24 +387,26 @@ WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
     close_feed(w);
   }
 
-  // Manifest last: its presence marks a completely written store.
+  // Manifest last, and atomically: its presence marks a completely written
+  // store, so it must never be observable half-written — a crash during
+  // publish leaves either no manifest (store incomplete, re-simulated) or
+  // the previous complete one.
   {
-    std::ofstream manifest(impl_->dir + "/" + kManifestFile,
-                           std::ios::trunc | std::ios::binary);
-    manifest << "cellstore-v1\n";
-    manifest << "digest=" << sim::config_digest(ds.config) << "\n";
-    manifest << "feeds=";
-    for (std::size_t i = 0; i < dataset_feeds().size(); ++i)
-      manifest << (i ? "," : "") << dataset_feeds()[i];
-    manifest << "\n";
+    std::string manifest;
+    manifest += "cellstore-v1\n";
+    manifest += "digest=" + sim::config_digest(ds.config) + "\n";
+    manifest += "feeds=";
+    for (std::size_t i = 0; i < dataset_feeds().size(); ++i) {
+      if (i) manifest += ",";
+      manifest += dataset_feeds()[i];
+    }
+    manifest += "\n";
     // Physical accounting for the store-reconcile audit law: what was
     // written must be what reads back. Readers that predate these lines
     // skip unknown manifest rows, so the format stays backward-compatible.
-    manifest << "rows=" << stats.rows_written << "\n";
-    manifest << "bytes=" << stats.bytes_written << "\n";
-    if (!manifest)
-      throw std::runtime_error("store: cannot write manifest in " +
-                               impl_->dir);
+    manifest += "rows=" + std::to_string(stats.rows_written) + "\n";
+    manifest += "bytes=" + std::to_string(stats.bytes_written) + "\n";
+    write_file_atomic(impl_->dir + "/" + kManifestFile, manifest);
   }
 
   if (obs::enabled()) {
@@ -417,9 +425,25 @@ WriteStats write_dataset(const sim::Dataset& ds, const std::string& dir) {
 
 sim::Dataset simulate_to_store(const sim::ScenarioConfig& config,
                                const std::string& dir) {
+  return simulate_to_store(config, dir, StoreRunOptions{});
+}
+
+sim::Dataset simulate_to_store(const sim::ScenarioConfig& config,
+                               const std::string& dir,
+                               const StoreRunOptions& options) {
+  // The writer first (its ctor sweeps stale *.tmp orphans), then the
+  // checkpoint record, which lives in the same directory keyed by the
+  // scenario digest: a record from a crashed run of the SAME scenario
+  // fast-forwards the simulator; anything else starts fresh.
   DatasetWriter writer{dir};
-  sim::Dataset ds = sim::run_scenario(config, &writer);
+  CheckpointManager checkpoint{obs::ensure_obs_dir(dir),
+                               sim::config_digest(config)};
+  checkpoint.set_kill_after_days(options.kill_after_days);
+  sim::Simulator simulator{config};
+  sim::Dataset ds = simulator.run(&writer, &checkpoint);
   writer.finish(ds);
+  // Manifest published: the run is complete and no longer resumable state.
+  checkpoint.clear();
   return ds;
 }
 

@@ -74,10 +74,26 @@ class DatasetWriter final : public sim::DatasetSink {
 // DatasetWriter for datasets that were not simulated with a sink).
 WriteStats write_dataset(const sim::Dataset& ds, const std::string& dir);
 
+// Crash-safety options for simulate_to_store().
+struct StoreRunOptions {
+  // Crash injection (tests, the CI crash-resume job): SIGKILL the process
+  // right after the n-th day's checkpoint publishes. 0 disables.
+  int kill_after_days = 0;
+};
+
 // Runs the scenario with a DatasetWriter attached: the store is written
 // while the simulation runs, and the materialized dataset is returned.
+//
+// The run is crash-safe (docs/RECOVERY.md): a digest-keyed day-granular
+// checkpoint (store/checkpoint.h) rides in `dir`, so a killed or
+// interrupted run re-invoked with the same config and dir resumes at the
+// first incomplete day and produces a byte-identical store. The checkpoint
+// is removed once the manifest publishes.
 [[nodiscard]] sim::Dataset simulate_to_store(const sim::ScenarioConfig& config,
                                              const std::string& dir);
+[[nodiscard]] sim::Dataset simulate_to_store(const sim::ScenarioConfig& config,
+                                             const std::string& dir,
+                                             const StoreRunOptions& options);
 
 struct ReadOutcome {
   enum class Status {

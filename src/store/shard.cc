@@ -9,6 +9,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/atomic_file.h"
+
 namespace cellscope::store {
 
 namespace {
@@ -34,9 +36,11 @@ FeedFileWriter::FeedFileWriter(const std::string& path,
   columns_.reserve(schema.size());
   for (const auto encoding : schema) columns_.push_back({encoding, {}, 0});
 
-  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  // Stream into the scratch name; close() publishes with fsync + rename.
+  const std::string tmp = path_ + kTmpSuffix;
+  fd_ = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd_ < 0)
-    throw std::runtime_error("store: cannot create " + path + ": " +
+    throw std::runtime_error("store: cannot create " + tmp + ": " +
                              std::strerror(errno));
   std::vector<std::uint8_t> header;
   put_u32(header, kFileMagic);
@@ -48,12 +52,11 @@ FeedFileWriter::FeedFileWriter(const std::string& path,
 }
 
 FeedFileWriter::~FeedFileWriter() {
-  if (!closed_) {
-    try {
-      close();
-    } catch (...) {
-      // Destructor cleanup: the explicit close() path reports failures.
-    }
+  if (!closed_ && fd_ >= 0) {
+    // Abandoned writer (unwound without close()): nothing is published.
+    // Drop the scratch file; a SIGKILLed process leaves it for the sweep.
+    ::close(fd_);
+    ::unlink((path_ + kTmpSuffix).c_str());
   }
 }
 
@@ -169,6 +172,7 @@ std::uint64_t FeedFileWriter::close() {
   write_all(body.data(), body.size());
   write_all(tail.data(), tail.size());
   closed_ = true;
+  publish_file_atomic(fd_, path_ + kTmpSuffix, path_);
   const int rc = ::close(fd_);
   fd_ = -1;
   if (rc != 0)

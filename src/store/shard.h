@@ -30,9 +30,12 @@ namespace cellscope::store {
 
 class FeedFileWriter {
  public:
-  // Creates (truncating) `path` and writes the file header. `schema` fixes
-  // the column count and encodings for every shard of this file. Throws
-  // std::runtime_error when the file cannot be opened.
+  // Opens `path + ".tmp"` (truncating) and writes the file header there;
+  // close() fsyncs and atomically renames the temp file onto `path`, so a
+  // crashed writer never leaves a partial file at the published name —
+  // only `.tmp` litter the next run sweeps (common/atomic_file.h).
+  // `schema` fixes the column count and encodings for every shard of this
+  // file. Throws std::runtime_error when the file cannot be opened.
   FeedFileWriter(const std::string& path, std::vector<Encoding> schema,
                  std::size_t max_rows_per_shard = kDefaultRowsPerShard);
   ~FeedFileWriter();
@@ -55,9 +58,11 @@ class FeedFileWriter {
   // Encodes buffered rows as one shard now (no-op with zero rows).
   void flush_shard();
 
-  // Flushes, writes the footer and closes the file. Returns the final file
-  // size in bytes. The destructor calls this; call it explicitly to
-  // observe failures. Throws std::runtime_error on write failure.
+  // Flushes, writes the footer, fsyncs and renames the temp file onto its
+  // final path. Returns the final file size in bytes. This is the ONLY way
+  // a feed file gets published: a writer destroyed without close() (stack
+  // unwind, interrupt) discards its temp file and leaves any previously
+  // published file untouched. Throws std::runtime_error on write failure.
   std::uint64_t close();
 
   [[nodiscard]] std::uint64_t rows_written() const { return rows_written_; }

@@ -331,6 +331,74 @@ TEST(AuditMutation, DisorderedPercentileBandTripsMobilityRangeOnly) {
   expect_only_law_fired(report, "mobility-range");
 }
 
+// --------------------------------------- checkpoint-consistency (resume)
+//
+// This law only runs for RESUMED runs (it is gated on Dataset::recovery in
+// sim/dataset_audit.cc, and deliberately absent from kDatasetLaws above —
+// a fresh run has no restore point to reconcile). The clean-path + law
+// coverage over a real resumed simulation lives in test_determinism; here
+// the mutation half proves each of its three checks fires.
+
+struct ResumeLedgers {
+  telemetry::KpiStore kpis;
+  traffic::VoiceCallLedger voice;
+  telemetry::SignalingProbe signaling;
+};
+
+// Final ledgers of a run resumed after day 5: the prefix (days <= 5) holds
+// 2 KPI rows, 10 voice attempts and 1 signaling day.
+ResumeLedgers resumed_ledgers() {
+  ResumeLedgers ledgers;
+  ledgers.kpis.add_day({clean_row(0, 5), clean_row(1, 5)});
+  ledgers.kpis.add_day({clean_row(0, 6)});
+  ledgers.voice.record_day({5, 10, 8, 1, 1});
+  ledgers.voice.record_day({6, 4, 4, 0, 0});
+  telemetry::DailySignalingCounts d5;
+  d5.day = 5;
+  ledgers.signaling.restore_day(d5);
+  telemetry::DailySignalingCounts d6;
+  d6.day = 6;
+  ledgers.signaling.restore_day(d6);
+  return ledgers;
+}
+
+TEST(AuditMutation, CleanResumeRecordPassesCheckpointConsistency) {
+  const ResumeLedgers ledgers = resumed_ledgers();
+  AuditReport report;
+  check_checkpoint_consistency(5, 2, 10, 1, ledgers.kpis, ledgers.voice,
+                               ledgers.signaling, report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.checks_for("checkpoint-consistency"), 0u);
+}
+
+TEST(AuditMutation, ReplayedKpiDayTripsCheckpointConsistencyOnly) {
+  // The restore recorded 1 row but the final prefix holds 2: the resumed
+  // run re-simulated a checkpointed day and double-counted its rows.
+  const ResumeLedgers ledgers = resumed_ledgers();
+  AuditReport report;
+  check_checkpoint_consistency(5, 1, 10, 1, ledgers.kpis, ledgers.voice,
+                               ledgers.signaling, report);
+  expect_only_law_fired(report, "checkpoint-consistency");
+}
+
+TEST(AuditMutation, LostVoiceAttemptsTripCheckpointConsistencyOnly) {
+  // The restore held 14 attempts but the final prefix only sums to 10:
+  // the resume dropped checkpointed voice days on the floor.
+  const ResumeLedgers ledgers = resumed_ledgers();
+  AuditReport report;
+  check_checkpoint_consistency(5, 2, 14, 1, ledgers.kpis, ledgers.voice,
+                               ledgers.signaling, report);
+  expect_only_law_fired(report, "checkpoint-consistency");
+}
+
+TEST(AuditMutation, SignalingDayCountMismatchTripsCheckpointConsistencyOnly) {
+  const ResumeLedgers ledgers = resumed_ledgers();
+  AuditReport report;
+  check_checkpoint_consistency(5, 2, 10, 2, ledgers.kpis, ledgers.voice,
+                               ledgers.signaling, report);
+  expect_only_law_fired(report, "checkpoint-consistency");
+}
+
 // ------------------------------------------------- store reconciliation
 
 sim::ScenarioConfig store_config() {

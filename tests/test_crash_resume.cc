@@ -1,0 +1,127 @@
+// Crash/resume, the hard way: a child process SIGKILLs itself mid-run —
+// no destructors, no flushes, exactly what a power cut or OOM kill leaves
+// behind — and a fresh process resumes from the surviving store directory.
+// The contract (sim/checkpoint.h, docs/RECOVERY.md) is that the resumed
+// run's Dataset is bit-identical and the published store byte-identical to
+// a run that was never interrupted, clean and under measurement-plane
+// faults alike.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "store/dataset_io.h"
+#include "store/format.h"
+#include "support/dataset_compare.h"
+
+namespace cellscope::store {
+namespace {
+
+sim::ScenarioConfig crash_config() {
+  sim::ScenarioConfig config = sim::default_scenario();
+  config.num_users = 600;
+  config.seed = 77;
+  config.user_chunk = 128;
+  config.worker_threads = 2;
+  return config;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "crash_resume_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Both directories hold exactly the same file names with exactly the same
+// bytes — the store-level half of the resume contract.
+void expect_dirs_byte_identical(const std::string& a, const std::string& b) {
+  std::vector<std::string> names_a, names_b;
+  for (const auto& entry : std::filesystem::directory_iterator(a))
+    names_a.push_back(entry.path().filename().string());
+  for (const auto& entry : std::filesystem::directory_iterator(b))
+    names_b.push_back(entry.path().filename().string());
+  std::sort(names_a.begin(), names_a.end());
+  std::sort(names_b.begin(), names_b.end());
+  ASSERT_EQ(names_a, names_b);
+  for (const std::string& name : names_a)
+    EXPECT_EQ(slurp(a + "/" + name), slurp(b + "/" + name))
+        << name << " differs between " << a << " and " << b;
+}
+
+void expect_crash_resume_identical(const sim::ScenarioConfig& config,
+                                   const std::string& name) {
+  const std::string crash_dir = fresh_dir(name);
+  const std::string ref_dir = fresh_dir(name + "_ref");
+
+  // The child simulates with crash injection armed: right after the 25th
+  // day's checkpoint publishes, it SIGKILLs itself. No gtest machinery in
+  // the child — it either dies by signal (expected) or exits 0 (a bug the
+  // parent's WIFSIGNALED assert catches).
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    StoreRunOptions options;
+    options.kill_after_days = 25;
+    (void)simulate_to_store(config, crash_dir, options);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of crashing";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The wreckage: a checkpoint, no published manifest (the run never
+  // finished), and in-flight *.tmp litter is possible.
+  EXPECT_TRUE(std::filesystem::exists(crash_dir + "/checkpoint.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(crash_dir + "/" +
+                                       std::string(kManifestFile)));
+
+  // A fresh process resumes from the wreckage and runs to completion.
+  const sim::Dataset resumed = simulate_to_store(config, crash_dir);
+  EXPECT_TRUE(resumed.recovery.resumed);
+  EXPECT_FALSE(std::filesystem::exists(crash_dir + "/checkpoint.ckpt"))
+      << "completed run must clear its checkpoint";
+
+  const sim::Dataset oneshot = simulate_to_store(config, ref_dir);
+  EXPECT_FALSE(oneshot.recovery.resumed);
+  sim::testsupport::expect_datasets_identical(oneshot, resumed);
+  expect_dirs_byte_identical(ref_dir, crash_dir);
+
+  // And the resumed store replays complete.
+  const ReadOutcome outcome = read_dataset(crash_dir, config);
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kOk) << outcome.error;
+  EXPECT_TRUE(outcome.complete());
+}
+
+TEST(CrashResume, SigkillMidRunResumesByteIdentical) {
+  expect_crash_resume_identical(crash_config(), "clean");
+}
+
+TEST(CrashResume, FaultedSigkillMidRunResumesByteIdentical) {
+  sim::ScenarioConfig config = crash_config();
+  config.seed = 31337;
+  config.faults.observation_loss_rate = 0.05;
+  config.faults.kpi_record_loss_rate = 0.05;
+  config.faults.kpi_record_duplication_rate = 0.005;
+  config.faults.signaling_outages_per_week = 1.0;
+  config.faults.signaling_outage_mean_hours = 6.0;
+  expect_crash_resume_identical(config, "faulted");
+}
+
+}  // namespace
+}  // namespace cellscope::store

@@ -9,8 +9,14 @@
 // reordered by a future change fails here first.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "sim/checkpoint.h"
+#include "sim/dataset_audit.h"
 #include "sim/simulator.h"
 #include "support/dataset_compare.h"
 
@@ -111,6 +117,171 @@ TEST(DeterminismContract, RejectsBadChunkSize) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config.user_chunk = (1u << 20) + 1;
   EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------- checkpoint/resume
+//
+// The resume contract (sim/checkpoint.h): a run restored from any day's
+// checkpoint must finish with a Dataset BIT-identical to the uninterrupted
+// run, at any worker count on either side of the interruption. An
+// in-memory sink records every day's blob from one full run; each test
+// primes a fresh sink with one of those blobs and lets a second run
+// fast-forward from it.
+class MemoryCheckpoint final : public CheckpointSink {
+ public:
+  [[nodiscard]] std::span<const std::uint8_t> resume_payload()
+      const override {
+    return {resume_payload_.data(), resume_payload_.size()};
+  }
+  [[nodiscard]] SimDay resume_day() const override { return resume_day_; }
+  void on_day_complete(SimDay day,
+                       const std::vector<std::uint8_t>& state) override {
+    saved_.emplace_back(day, state);
+  }
+
+  void prime(SimDay day, std::vector<std::uint8_t> payload) {
+    resume_day_ = day;
+    resume_payload_ = std::move(payload);
+  }
+  [[nodiscard]] const std::vector<
+      std::pair<SimDay, std::vector<std::uint8_t>>>&
+  saved() const {
+    return saved_;
+  }
+
+ private:
+  SimDay resume_day_ = -1;
+  std::vector<std::uint8_t> resume_payload_;
+  std::vector<std::pair<SimDay, std::vector<std::uint8_t>>> saved_;
+};
+
+// The serial reference run, with every day's checkpoint blob recorded;
+// computed once for the whole resume suite.
+struct RecordedRun {
+  Dataset dataset;
+  MemoryCheckpoint checkpoints;
+};
+const RecordedRun& recorded_reference() {
+  static const RecordedRun* run = [] {
+    auto* r = new RecordedRun;
+    auto config = matrix_config();
+    config.worker_threads = 1;
+    Simulator simulator{config};
+    r->dataset = simulator.run(nullptr, &r->checkpoints);
+    return r;
+  }();
+  return *run;
+}
+
+Dataset resume_from(const MemoryCheckpoint& recorder, std::size_t index,
+                    int workers, bool audit = false) {
+  MemoryCheckpoint source;
+  source.prime(recorder.saved()[index].first, recorder.saved()[index].second);
+  auto config = matrix_config();
+  config.worker_threads = workers;
+  config.audit = audit;
+  Simulator simulator{config};
+  return simulator.run(nullptr, &source);
+}
+
+class ResumeMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResumeMatrix, ResumedRunBitIdenticalToUninterrupted) {
+  const RecordedRun& full = recorded_reference();
+  ASSERT_GT(full.checkpoints.saved().size(), 3u);
+  EXPECT_FALSE(full.dataset.recovery.resumed);
+  const std::size_t mid = full.checkpoints.saved().size() / 2;
+  const Dataset resumed =
+      resume_from(full.checkpoints, mid, GetParam());
+  EXPECT_TRUE(resumed.recovery.resumed);
+  EXPECT_EQ(resumed.recovery.resumed_from_day,
+            full.checkpoints.saved()[mid].first);
+  expect_datasets_identical(full.dataset, resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ResumeMatrix, ::testing::Values(1, 2, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+// The extreme restore points: the very first day (home detection barely
+// begun, nothing calibrated) and the second-to-last (every calibration
+// finalized, one day left to simulate).
+TEST(CheckpointResume, BoundaryDaysResumeBitIdentical) {
+  const RecordedRun& full = recorded_reference();
+  const auto& saved = full.checkpoints.saved();
+  ASSERT_GT(saved.size(), 3u);
+  for (const std::size_t index : {std::size_t{0}, saved.size() - 2}) {
+    SCOPED_TRACE("resumed after day " +
+                 std::to_string(saved[index].first));
+    const Dataset resumed = resume_from(full.checkpoints, index, 2);
+    expect_datasets_identical(full.dataset, resumed);
+  }
+}
+
+// A resumed run re-checkpoints the days it simulates; those blobs must be
+// byte-identical to the full run's blobs for the same days — otherwise a
+// second crash after a resume would restore drifted state.
+TEST(CheckpointResume, ResumedCheckpointsByteIdenticalToFullRuns) {
+  const RecordedRun& full = recorded_reference();
+  const auto& saved = full.checkpoints.saved();
+  ASSERT_GT(saved.size(), 3u);
+  const std::size_t mid = saved.size() / 2;
+  MemoryCheckpoint source;
+  source.prime(saved[mid].first, saved[mid].second);
+  auto config = matrix_config();
+  config.worker_threads = 2;
+  Simulator simulator{config};
+  (void)simulator.run(nullptr, &source);
+  ASSERT_EQ(source.saved().size(), saved.size() - mid - 1);
+  for (std::size_t i = 0; i < source.saved().size(); ++i) {
+    EXPECT_EQ(source.saved()[i].first, saved[mid + 1 + i].first);
+    EXPECT_EQ(source.saved()[i].second, saved[mid + 1 + i].second)
+        << "checkpoint blob for day " << source.saved()[i].first;
+  }
+}
+
+// The contract holds under measurement-plane faults too: the quality
+// ledger, the fault plan's RNG stream and the degraded feeds all resume
+// exactly where they stopped.
+TEST(CheckpointResume, FaultedResumeBitIdenticalIncludingQualityLedger) {
+  ScenarioConfig config = default_scenario();
+  config.num_users = 1'500;
+  config.seed = 4242;
+  config.user_chunk = 96;
+  config.faults.signaling_outages_per_week = 1.0;
+  config.faults.signaling_outage_mean_hours = 6.0;
+  config.faults.observation_loss_rate = 0.05;
+  config.faults.kpi_record_loss_rate = 0.05;
+  config.faults.kpi_record_duplication_rate = 0.005;
+  config.worker_threads = 1;
+  MemoryCheckpoint recorder;
+  Simulator full_sim{config};
+  const Dataset full = full_sim.run(nullptr, &recorder);
+  ASSERT_FALSE(full.quality.empty());
+  ASSERT_GT(recorder.saved().size(), 2u);
+
+  const std::size_t mid = recorder.saved().size() / 2;
+  MemoryCheckpoint source;
+  source.prime(recorder.saved()[mid].first, recorder.saved()[mid].second);
+  config.worker_threads = 3;
+  Simulator resumed_sim{config};
+  const Dataset resumed = resumed_sim.run(nullptr, &source);
+  expect_datasets_identical(full, resumed);
+}
+
+// checkpoint-consistency (audit/laws.h) only exists for resumed runs: the
+// restored ledger prefixes must reconcile with the sizes recorded at the
+// fast-forward. A clean resume passes it; a fresh run never evaluates it.
+TEST(CheckpointResume, ResumedRunPassesCheckpointConsistencyLaw) {
+  const RecordedRun& full = recorded_reference();
+  const std::size_t mid = full.checkpoints.saved().size() / 2;
+  const Dataset resumed =
+      resume_from(full.checkpoints, mid, 2, /*audit=*/true);
+  EXPECT_GT(resumed.audit_report.checks_for("checkpoint-consistency"), 0u);
+  EXPECT_TRUE(resumed.audit_report.clean());
+  const audit::AuditReport fresh = audit_dataset(full.dataset);
+  EXPECT_EQ(fresh.checks_for("checkpoint-consistency"), 0u);
 }
 
 }  // namespace

@@ -10,8 +10,12 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <unistd.h>
+#include <vector>
 
+#include "common/atomic_file.h"
 #include "sim/simulator.h"
+#include "store/checkpoint.h"
 #include "store/dataset_io.h"
 #include "store/format.h"
 
@@ -46,15 +50,20 @@ std::uint64_t store_quarantined(const sim::Dataset& ds) {
 }
 
 // One pristine store for the suite; each test clones and damages a copy.
+// The base directory is keyed by PID: ctest isolates every test into its
+// own process (each rebuilding the suite fixture), and concurrent
+// processes sharing one path would race each other's remove_all.
 class StoreCorruption : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    base_dir_ =
-        new std::string(::testing::TempDir() + "cellstore_corruption_base");
+    base_dir_ = new std::string(::testing::TempDir() +
+                                "cellstore_corruption_base_" +
+                                std::to_string(::getpid()));
     std::filesystem::remove_all(*base_dir_);
     live_ = new sim::Dataset(simulate_to_store(tiny_config(), *base_dir_));
   }
   static void TearDownTestSuite() {
+    std::filesystem::remove_all(*base_dir_);
     delete live_;
     live_ = nullptr;
     delete base_dir_;
@@ -153,6 +162,148 @@ TEST_F(StoreCorruption, EveryFeedDamagedStillNeverCrashes) {
   EXPECT_FALSE(outcome.complete());
   ASSERT_TRUE(outcome.dataset.has_value());
   EXPECT_GE(store_quarantined(*outcome.dataset), 1u);
+}
+
+// ------------------------------------------------- torn-write matrix
+//
+// A crash can tear a write at any byte. The publish protocol (tmp + fsync
+// + rename) means a torn PUBLISHED file can only exist if the protocol is
+// violated or the disk lies — but the reader must survive it regardless.
+// This matrix truncates the KPI feed at every structural boundary of the
+// CSF1 layout (shard.cc): file header (8), shard header (+32), column
+// directory entry (+16), footer entry (48 from the tail), the 16-byte tail
+// itself, and one byte into/short of each. Every cut must read as degraded
+// — quarantined on the ledger, other feeds intact — and never crash or
+// serve the torn feed as complete.
+TEST_F(StoreCorruption, TruncationAtEveryStructuralBoundaryDegrades) {
+  const std::string pristine = clone("torn_pristine");
+  const std::string kpis_name = feed_file_name("kpis");
+  const auto size = std::filesystem::file_size(pristine + "/" + kpis_name);
+  ASSERT_GT(size, 64u);
+  const std::vector<std::uint64_t> cuts = {
+      0,          // empty file
+      1,          // inside the file magic
+      8,          // exactly the file header: no shard, no tail
+      8 + 31,     // inside the first shard header
+      8 + 32,     // shard header complete, column directory missing
+      8 + 32 + 16,  // one column-directory entry, payload missing
+      size - 17,  // one byte short of the tail
+      size - 16,  // tail missing entirely (footer still present)
+      size - 48 - 16,  // inside the footer entries
+      size - 8,   // tail torn mid-CRC
+      size - 1,   // last byte lost
+  };
+  for (const std::uint64_t cut : cuts) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                 std::to_string(size) + " bytes");
+    const std::string dir = clone("torn_" + std::to_string(cut));
+    std::filesystem::resize_file(dir + "/" + kpis_name, cut);
+    const ReadOutcome outcome = read_dataset(dir, tiny_config());
+    ASSERT_EQ(outcome.status, ReadOutcome::Status::kDegraded)
+        << outcome.error;
+    EXPECT_FALSE(outcome.complete());
+    EXPECT_GE(outcome.shards_quarantined, 1u);
+    ASSERT_TRUE(outcome.dataset.has_value());
+    // The torn feed never serves partial rows as complete...
+    EXPECT_LT(outcome.dataset->kpis.records().size(),
+              live().kpis.records().size());
+    EXPECT_GE(store_quarantined(*outcome.dataset), 1u);
+    // ...and the untouched feeds still load in full.
+    EXPECT_EQ(outcome.dataset->homes.size(), live().homes.size());
+    EXPECT_EQ(outcome.dataset->signaling.days().size(),
+              live().signaling.days().size());
+  }
+}
+
+// An abandoned scratch file — a writer crashed before its rename — must be
+// invisible to readers whatever its contents (empty, garbage, or a torn
+// prefix of the real shard at any structural boundary), and the next
+// writer's startup sweep removes it.
+TEST_F(StoreCorruption, OrphanedTmpFilesAreIgnoredAndSwept) {
+  const std::string dir = clone("orphan_tmp");
+  const std::string kpis = dir + "/" + feed_file_name("kpis");
+  std::vector<char> shard(std::filesystem::file_size(kpis));
+  std::ifstream{kpis, std::ios::binary}.read(shard.data(),
+                                             static_cast<std::streamoff>(
+                                                 shard.size()));
+  // A torn prefix of a real shard, a garbage manifest, and an empty file.
+  std::ofstream{kpis + kTmpSuffix, std::ios::binary}.write(shard.data(), 40);
+  std::ofstream{dir + "/" + std::string(kManifestFile) + kTmpSuffix}
+      << "torn manifest\n";
+  std::ofstream{dir + "/empty" + kTmpSuffix};
+
+  const ReadOutcome outcome = read_dataset(dir, tiny_config());
+  ASSERT_EQ(outcome.status, ReadOutcome::Status::kOk) << outcome.error;
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(outcome.dataset->kpis.records().size(),
+            live().kpis.records().size());
+
+  EXPECT_EQ(remove_stale_tmp_files(dir), 3u);
+  EXPECT_FALSE(std::filesystem::exists(kpis + kTmpSuffix));
+  // The published files all survive the sweep.
+  const ReadOutcome after = read_dataset(dir, tiny_config());
+  EXPECT_EQ(after.status, ReadOutcome::Status::kOk);
+}
+
+// ------------------------------------------------- checkpoint records
+//
+// A damaged checkpoint must read as "no resumable state" — the run starts
+// fresh — never as an error and never as someone else's state.
+TEST_F(StoreCorruption, CheckpointSurvivesEveryCorruption) {
+  const std::string dir =
+      ::testing::TempDir() + "cellstore_corruption_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::vector<std::uint8_t> state = {1, 2, 3, 4, 5, 6, 7, 8};
+  {
+    CheckpointManager writer{dir, "digest-a"};
+    writer.on_day_complete(41, state);
+  }
+  const std::string path = dir + "/checkpoint.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  {  // Round-trip: same digest resumes.
+    CheckpointManager m{dir, "digest-a"};
+    ASSERT_FALSE(m.resume_payload().empty());
+    EXPECT_EQ(m.resume_day(), 41);
+    EXPECT_TRUE(std::equal(state.begin(), state.end(),
+                           m.resume_payload().begin()));
+  }
+  {  // A different scenario's digest must not resume from it.
+    CheckpointManager m{dir, "digest-b"};
+    EXPECT_TRUE(m.resume_payload().empty());
+  }
+  // Truncation at every byte boundary reads as fresh, never throws.
+  const auto size = std::filesystem::file_size(path);
+  for (std::uint64_t cut = 0; cut < size; ++cut) {
+    {
+      CheckpointManager writer{dir, "digest-a"};
+      writer.on_day_complete(41, state);
+    }
+    std::filesystem::resize_file(path, cut);
+    CheckpointManager m{dir, "digest-a"};
+    EXPECT_TRUE(m.resume_payload().empty()) << "cut " << cut;
+  }
+  // A flipped byte anywhere fails the CRC and reads as fresh.
+  for (const std::uint64_t offset : {std::uint64_t{0}, size / 2, size - 1}) {
+    {
+      CheckpointManager writer{dir, "digest-a"};
+      writer.on_day_complete(41, state);
+    }
+    flip_byte(path, offset);
+    CheckpointManager m{dir, "digest-a"};
+    EXPECT_TRUE(m.resume_payload().empty()) << "offset " << offset;
+  }
+  // Garbage reads as fresh; clear() removes the record.
+  std::ofstream{path, std::ios::binary | std::ios::trunc}
+      << "not a checkpoint";
+  CheckpointManager m{dir, "digest-a"};
+  EXPECT_TRUE(m.resume_payload().empty());
+  m.on_day_complete(7, state);
+  m.clear();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  CheckpointManager fresh{dir, "digest-a"};
+  EXPECT_TRUE(fresh.resume_payload().empty());
 }
 
 TEST_F(StoreCorruption, MissingManifestReportsMissing) {
