@@ -14,6 +14,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -279,7 +281,15 @@ int main(int argc, char** argv) {
   std::string out_flag;
   std::string format_flag;
   if (const char* dir = std::getenv("CELLSCOPE_OBS_DIR")) {
-    const std::string obs_dir = cellscope::obs::ensure_obs_dir(dir);
+    // Hardened env-var contract: an unusable output dir is a configuration
+    // error — report it and exit 2 rather than degrade silently.
+    std::string obs_dir;
+    try {
+      obs_dir = cellscope::obs::ensure_obs_dir(dir);
+    } catch (const std::runtime_error& error) {
+      std::cerr << "CELLSCOPE_OBS_DIR: " << error.what() << "\n";
+      return 2;
+    }
     out_flag = "--benchmark_out=" + obs_dir + "/perf_kernels.json";
     format_flag = "--benchmark_out_format=json";
     args.push_back(out_flag.data());

@@ -11,8 +11,11 @@
 //                            (see sim::parse_fault_spec; default: no faults)
 //   CELLSCOPE_OBS_DIR        when set, enables the observability runtime
 //                            and writes <slug>.trace.json (Chrome trace),
-//                            <slug>.phases.csv and <slug>.manifest.json
-//                            into that directory (see docs/OBSERVABILITY.md)
+//                            <slug>.phases.csv, <slug>.manifest.json and the
+//                            run-health timeline <slug>.timeline.{csv,json}
+//                            into that directory (see docs/OBSERVABILITY.md).
+//                            An uncreatable or unwritable directory prints
+//                            the reason and exits 2.
 //   CELLSCOPE_STORE_DIR      when set, simulate once / replay many: the
 //                            run's dataset is cached as a cellstore under
 //                            <dir>/<config-digest>/ and later runs of the
@@ -139,17 +142,31 @@ inline std::string slugify(const std::string& text) {
   return slug.empty() ? std::string("bench") : slug;
 }
 
+// Resolves and validates CELLSCOPE_OBS_DIR up front. An uncreatable or
+// unwritable directory is a configuration error under the hardened env-var
+// contract: print the reason and exit 2, never degrade silently.
+inline std::string checked_obs_dir() {
+  try {
+    return obs::ensure_obs_dir(obs::obs_dir_from_env());
+  } catch (const std::runtime_error& error) {
+    std::cerr << "CELLSCOPE_OBS_DIR: " << error.what() << "\n";
+    std::exit(2);
+  }
+}
+
 // Standard observability epilogue: prints the phase-timing summary and
-// writes the Chrome trace, per-phase CSV and run manifest into
-// CELLSCOPE_OBS_DIR. Only called when the runtime is enabled. Every file
-// publishes atomically (tmp + fsync + rename) so a crash mid-epilogue never
-// leaves a torn manifest; `interrupted` marks a SIGINT/SIGTERM run whose
-// manifest describes a resumable partial dataset.
+// writes the Chrome trace, per-phase CSV, run manifest and run-health
+// timeline into CELLSCOPE_OBS_DIR. Only called when the runtime is enabled.
+// Every file publishes atomically (tmp + fsync + rename) so a crash
+// mid-epilogue never leaves a torn manifest; `interrupted` marks a
+// SIGINT/SIGTERM run and `day_failed` a supervisor-exhausted one — both
+// manifests describe a resumable partial dataset.
 inline void write_obs_outputs(const std::string& slug,
                               const sim::ScenarioConfig& config,
                               const sim::Dataset& data,
-                              double wall_seconds, bool interrupted = false) {
-  const std::string dir = obs::ensure_obs_dir(obs::obs_dir_from_env());
+                              double wall_seconds, bool interrupted = false,
+                              bool day_failed = false) {
+  const std::string dir = checked_obs_dir();
   obs::Tracer& tracer = obs::tracer();
 
   const auto days =
@@ -170,6 +187,11 @@ inline void write_obs_outputs(const std::string& slug,
       wall_seconds > 0.0 ? user_days / wall_seconds : 0.0;
   manifest.peak_rss_kb = obs::peak_rss_kb();
   manifest.phases = tracer.phase_totals();
+  // Publish the resource gauge before snapshotting so interrupted and
+  // day-failed manifests carry it too (the simulator only sets it on the
+  // clean path, which these runs never reach).
+  obs::metrics().set_gauge("process.peak_rss_kb",
+                           static_cast<double>(obs::peak_rss_kb()));
   manifest.metrics = obs::metrics().snapshot();
   if (config.audit) {
     manifest.audit_enabled = true;
@@ -191,6 +213,7 @@ inline void write_obs_outputs(const std::string& slug,
     manifest.feeds.push_back(std::move(summary));
   }
   manifest.interrupted = interrupted;
+  manifest.day_failed = day_failed;
   manifest.resumed = data.recovery.resumed;
   manifest.resumed_from_day = data.recovery.resumed
                                   ? static_cast<int>(data.recovery.resumed_from_day)
@@ -198,6 +221,19 @@ inline void write_obs_outputs(const std::string& slug,
   manifest.supervisor_retries = data.recovery.supervisor_retries;
   manifest.supervisor_failures = data.recovery.supervisor_failures;
   manifest.supervisor_stalls = data.recovery.supervisor_stalls;
+
+  // Run-health timeline summary (docs/OBSERVABILITY.md): the per-day RSS
+  // series behind the perf gate's memory-slope check.
+  obs::Timeline& timeline = obs::timeline();
+  const auto timeline_samples = timeline.samples();
+  if (!timeline_samples.empty()) {
+    manifest.timeline.samples = timeline_samples.size();
+    manifest.timeline.steady_rss_kb = obs::steady_rss_kb(timeline_samples);
+    manifest.timeline.rss_slope_kb_per_day =
+        obs::rss_slope_kb_per_day(timeline_samples);
+    manifest.timeline.rows_per_sec = timeline_samples.back().rows_per_sec;
+    manifest.timeline.users_per_sec = timeline_samples.back().users_per_sec;
+  }
 
   const std::string base = dir + "/" + slug;
   const auto publish = [](const std::string& path, const auto& write) {
@@ -211,6 +247,12 @@ inline void write_obs_outputs(const std::string& slug,
           [&](std::ostream& out) { tracer.write_phase_csv(out); });
   publish(base + ".manifest.json",
           [&](std::ostream& out) { obs::write_manifest_json(out, manifest); });
+  if (!timeline_samples.empty()) {
+    publish(base + ".timeline.csv",
+            [&](std::ostream& out) { timeline.write_csv(out); });
+    publish(base + ".timeline.json",
+            [&](std::ostream& out) { timeline.write_json(out); });
+  }
   if (config.audit) {
     // Machine-readable audit report next to the manifest (CI uploads the
     // JSON as an artifact).
@@ -298,8 +340,10 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
               << " cell_daily=" << config.faults.cell_outage_daily_prob
               << ")\n";
   // Observability is opt-in via CELLSCOPE_OBS_DIR; with it unset the run is
-  // untouched and no files are written.
+  // untouched and no files are written. A set-but-unusable dir fails fast
+  // (exit 2) instead of surfacing hours later in the epilogue.
   const bool obs_on = obs::enable_from_env();
+  if (obs_on) checked_obs_dir();
   // Cooperative interrupts: ^C / SIGTERM request a stop at the next day
   // boundary, after that day's checkpoint is flushed (docs/RECOVERY.md).
   sim::reset_interrupt();
@@ -327,11 +371,21 @@ inline sim::Dataset run_figure_scenario(bool with_kpis,
     }
     std::exit(4);
   } catch (const sim::DayFailed& failed) {
+    const double wall_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
     std::cerr << "day " << failed.day
               << " failed after exhausting supervisor retries: "
               << failed.what()
               << "\n(previous day's checkpoint is intact — rerun with the "
                  "same CELLSCOPE_STORE_DIR to retry from there)\n";
+    // The partial run still gets its accounting: manifest (peak RSS +
+    // metrics snapshot + timeline) flagged day_failed, like exit 4 does
+    // for interrupts.
+    if (obs_on && failed.partial != nullptr)
+      write_obs_outputs(slugify(banner), config, *failed.partial,
+                        wall_seconds, /*interrupted=*/false,
+                        /*day_failed=*/true);
     std::exit(5);
   }
   const double wall_seconds =

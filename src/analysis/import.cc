@@ -236,6 +236,11 @@ KpiImportResult import_kpis_csv(std::istream& is,
     metrics.add("import.rows", result.rows);
     metrics.add("import.quarantined", result.quarantined);
     metrics.add("import.duplicates_dropped", result.duplicates_dropped);
+    obs::track_bytes(obs::Subsystem::kAnalysis,
+                     result.rows * sizeof(telemetry::CellDayRecord));
+    // Imports can run for minutes with no day boundary in sight; the
+    // wall-clock fallback keeps the health timeline sampled.
+    obs::timeline().maybe_sample();
   }
   return result;
 }

@@ -1,0 +1,80 @@
+// Minimal JSON reader for cellscope's own machine-readable artifacts.
+//
+// The obs layer *writes* JSON by hand (manifests, timelines, traces); the
+// perf-regression gate has to *read* it back — run manifests, google-
+// benchmark reports and the checked-in BENCH_cellscope.json baseline. This
+// is a small recursive-descent parser over a DOM of JsonValue nodes: full
+// JSON syntax (objects, arrays, strings with escapes, numbers, booleans,
+// null), no streaming, no SAX, no external dependency. Inputs are our own
+// small documents (kilobytes), so simplicity beats speed.
+//
+// Parse errors throw std::runtime_error with a byte offset; lookups on the
+// wrong type throw too, so a malformed baseline fails the gate loudly
+// instead of comparing garbage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellscope::common {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  // truncates
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  // Object lookups. has()/find() probe; at() throws when absent.
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  // Convenience lookups with defaults (absent key or wrong type -> fallback).
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  friend JsonValue json_parse(std::string_view text);
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // Insertion-ordered keys are irrelevant for our lookups; a map keeps the
+  // implementation tiny.
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). Throws std::runtime_error with a byte offset on error.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+// Reads and parses a JSON file; throws std::runtime_error when the file
+// cannot be read or does not parse.
+[[nodiscard]] JsonValue json_parse_file(const std::string& path);
+
+}  // namespace cellscope::common

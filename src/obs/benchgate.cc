@@ -1,0 +1,260 @@
+#include "obs/benchgate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace cellscope::obs {
+
+namespace {
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;
+}
+
+std::string fmt_ratio(double current, double base) {
+  return number(current) + " vs baseline " + number(base) + " (ratio " +
+         number(base != 0.0 ? current / base : 0.0) + ")";
+}
+
+}  // namespace
+
+BenchRecord bench_from_manifest(const common::JsonValue& manifest) {
+  BenchRecord r;
+  r.name = manifest.at("name").as_string();
+  r.wall_seconds = manifest.number_or("wall_seconds", 0.0);
+  r.peak_rss_kb = static_cast<long>(manifest.number_or("peak_rss_kb", 0.0));
+  if (const auto* tl = manifest.find("timeline")) {
+    r.steady_rss_kb = static_cast<long>(tl->number_or("steady_rss_kb", 0.0));
+    r.rss_slope_kb_per_day = tl->number_or("rss_slope_kb_per_day", 0.0);
+    r.rows_per_sec = tl->number_or("rows_per_sec", 0.0);
+    r.users_per_sec = tl->number_or("users_per_sec", 0.0);
+  }
+  if (r.users_per_sec == 0.0)
+    r.users_per_sec = manifest.number_or("user_days_per_sec", 0.0);
+  return r;
+}
+
+std::vector<KernelRecord> kernels_from_benchmark_json(
+    const common::JsonValue& report) {
+  std::vector<KernelRecord> out;
+  const auto* benchmarks = report.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) return out;
+  for (const auto& b : benchmarks->as_array()) {
+    // Skip repetition aggregates; plain runs either carry
+    // run_type == "iteration" or (older formats) no run_type at all.
+    if (b.string_or("run_type", "iteration") != "iteration") continue;
+    KernelRecord k;
+    k.name = b.string_or("name", "");
+    if (k.name.empty()) continue;
+    k.ns_per_op = b.number_or("real_time", 0.0) *
+                  unit_to_ns(b.string_or("time_unit", "ns"));
+    out.push_back(std::move(k));
+  }
+  return out;
+}
+
+void write_trajectory_json(std::ostream& os, const Trajectory& t) {
+  os << "{\n";
+  os << "  \"schema\": \"" << json_escape(t.schema) << "\",\n";
+  os << "  \"git_describe\": \"" << json_escape(t.git_describe) << "\",\n";
+  const auto& tol = t.tolerances;
+  os << "  \"tolerances\": {\n"
+     << "    \"wall_seconds_max_ratio\": " << number(tol.wall_seconds_max_ratio)
+     << ",\n"
+     << "    \"kernel_ns_max_ratio\": " << number(tol.kernel_ns_max_ratio)
+     << ",\n"
+     << "    \"peak_rss_max_ratio\": " << number(tol.peak_rss_max_ratio)
+     << ",\n"
+     << "    \"steady_rss_max_ratio\": " << number(tol.steady_rss_max_ratio)
+     << ",\n"
+     << "    \"rows_per_sec_min_ratio\": " << number(tol.rows_per_sec_min_ratio)
+     << ",\n"
+     << "    \"users_per_sec_min_ratio\": "
+     << number(tol.users_per_sec_min_ratio) << ",\n"
+     << "    \"rss_slope_max_kb_per_day\": "
+     << number(tol.rss_slope_max_kb_per_day) << "\n  },\n";
+
+  os << "  \"benches\": [";
+  for (std::size_t i = 0; i < t.benches.size(); ++i) {
+    const auto& b = t.benches[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(b.name)
+       << "\", \"wall_seconds\": " << number(b.wall_seconds)
+       << ", \"peak_rss_kb\": " << b.peak_rss_kb
+       << ", \"steady_rss_kb\": " << b.steady_rss_kb
+       << ", \"rss_slope_kb_per_day\": " << number(b.rss_slope_kb_per_day)
+       << ", \"rows_per_sec\": " << number(b.rows_per_sec)
+       << ", \"users_per_sec\": " << number(b.users_per_sec) << "}";
+  }
+  os << (t.benches.empty() ? "" : "\n  ") << "],\n";
+
+  os << "  \"kernels\": [";
+  for (std::size_t i = 0; i < t.kernels.size(); ++i) {
+    const auto& k = t.kernels[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << json_escape(k.name)
+       << "\", \"ns_per_op\": " << number(k.ns_per_op) << "}";
+  }
+  os << (t.kernels.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+Trajectory parse_trajectory(const common::JsonValue& doc) {
+  Trajectory t;
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != t.schema)
+    throw std::runtime_error("benchgate: unsupported trajectory schema '" +
+                             schema + "'");
+  t.git_describe = doc.string_or("git_describe", "unknown");
+  if (const auto* tol = doc.find("tolerances")) {
+    Tolerances defaults;
+    t.tolerances.wall_seconds_max_ratio = tol->number_or(
+        "wall_seconds_max_ratio", defaults.wall_seconds_max_ratio);
+    t.tolerances.kernel_ns_max_ratio =
+        tol->number_or("kernel_ns_max_ratio", defaults.kernel_ns_max_ratio);
+    t.tolerances.peak_rss_max_ratio =
+        tol->number_or("peak_rss_max_ratio", defaults.peak_rss_max_ratio);
+    t.tolerances.steady_rss_max_ratio =
+        tol->number_or("steady_rss_max_ratio", defaults.steady_rss_max_ratio);
+    t.tolerances.rows_per_sec_min_ratio = tol->number_or(
+        "rows_per_sec_min_ratio", defaults.rows_per_sec_min_ratio);
+    t.tolerances.users_per_sec_min_ratio = tol->number_or(
+        "users_per_sec_min_ratio", defaults.users_per_sec_min_ratio);
+    t.tolerances.rss_slope_max_kb_per_day = tol->number_or(
+        "rss_slope_max_kb_per_day", defaults.rss_slope_max_kb_per_day);
+  }
+  if (const auto* benches = doc.find("benches")) {
+    for (const auto& b : benches->as_array()) {
+      BenchRecord r;
+      r.name = b.string_or("name", "");
+      r.wall_seconds = b.number_or("wall_seconds", 0.0);
+      r.peak_rss_kb = static_cast<long>(b.number_or("peak_rss_kb", 0.0));
+      r.steady_rss_kb = static_cast<long>(b.number_or("steady_rss_kb", 0.0));
+      r.rss_slope_kb_per_day = b.number_or("rss_slope_kb_per_day", 0.0);
+      r.rows_per_sec = b.number_or("rows_per_sec", 0.0);
+      r.users_per_sec = b.number_or("users_per_sec", 0.0);
+      t.benches.push_back(std::move(r));
+    }
+  }
+  if (const auto* kernels = doc.find("kernels")) {
+    for (const auto& k : kernels->as_array()) {
+      KernelRecord r;
+      r.name = k.string_or("name", "");
+      r.ns_per_op = k.number_or("ns_per_op", 0.0);
+      t.kernels.push_back(std::move(r));
+    }
+  }
+  return t;
+}
+
+std::vector<GateFinding> compare_trajectories(const Trajectory& baseline,
+                                              const Trajectory& current) {
+  std::vector<GateFinding> findings;
+  const auto& tol = baseline.tolerances;
+
+  auto regression = [&](std::string detail) {
+    findings.push_back({true, std::move(detail)});
+  };
+  auto info = [&](std::string detail) {
+    findings.push_back({false, std::move(detail)});
+  };
+
+  auto find_bench = [](const Trajectory& t,
+                       const std::string& name) -> const BenchRecord* {
+    for (const auto& b : t.benches)
+      if (b.name == name) return &b;
+    return nullptr;
+  };
+  auto find_kernel = [](const Trajectory& t,
+                        const std::string& name) -> const KernelRecord* {
+    for (const auto& k : t.kernels)
+      if (k.name == name) return &k;
+    return nullptr;
+  };
+
+  for (const auto& base : baseline.benches) {
+    const BenchRecord* cur = find_bench(current, base.name);
+    if (cur == nullptr) {
+      regression("bench '" + base.name +
+                 "' present in baseline but missing from this run");
+      continue;
+    }
+    if (base.wall_seconds > 0.0 &&
+        cur->wall_seconds > base.wall_seconds * tol.wall_seconds_max_ratio)
+      regression("bench '" + base.name + "' wall_seconds " +
+                 fmt_ratio(cur->wall_seconds, base.wall_seconds) +
+                 " exceeds max ratio " + number(tol.wall_seconds_max_ratio));
+    if (base.peak_rss_kb > 0 &&
+        static_cast<double>(cur->peak_rss_kb) >
+            static_cast<double>(base.peak_rss_kb) * tol.peak_rss_max_ratio)
+      regression("bench '" + base.name + "' peak_rss_kb " +
+                 fmt_ratio(static_cast<double>(cur->peak_rss_kb),
+                           static_cast<double>(base.peak_rss_kb)) +
+                 " exceeds max ratio " + number(tol.peak_rss_max_ratio));
+    if (base.steady_rss_kb > 0 &&
+        static_cast<double>(cur->steady_rss_kb) >
+            static_cast<double>(base.steady_rss_kb) *
+                tol.steady_rss_max_ratio)
+      regression("bench '" + base.name + "' steady_rss_kb " +
+                 fmt_ratio(static_cast<double>(cur->steady_rss_kb),
+                           static_cast<double>(base.steady_rss_kb)) +
+                 " exceeds max ratio " + number(tol.steady_rss_max_ratio));
+    if (base.rows_per_sec > 0.0 &&
+        cur->rows_per_sec < base.rows_per_sec * tol.rows_per_sec_min_ratio)
+      regression("bench '" + base.name + "' rows_per_sec " +
+                 fmt_ratio(cur->rows_per_sec, base.rows_per_sec) +
+                 " below min ratio " + number(tol.rows_per_sec_min_ratio));
+    if (base.users_per_sec > 0.0 &&
+        cur->users_per_sec < base.users_per_sec * tol.users_per_sec_min_ratio)
+      regression("bench '" + base.name + "' users_per_sec " +
+                 fmt_ratio(cur->users_per_sec, base.users_per_sec) +
+                 " below min ratio " + number(tol.users_per_sec_min_ratio));
+  }
+
+  // The slope cap is absolute and applies to every current bench, baseline
+  // or not: unbounded per-day growth is a bug regardless of history.
+  for (const auto& cur : current.benches) {
+    if (cur.rss_slope_kb_per_day > tol.rss_slope_max_kb_per_day)
+      regression("bench '" + cur.name + "' rss_slope_kb_per_day " +
+                 number(cur.rss_slope_kb_per_day) + " exceeds absolute cap " +
+                 number(tol.rss_slope_max_kb_per_day));
+    if (find_bench(baseline, cur.name) == nullptr)
+      info("bench '" + cur.name +
+           "' is new (not in baseline); update the baseline to track it");
+  }
+
+  for (const auto& base : baseline.kernels) {
+    const KernelRecord* cur = find_kernel(current, base.name);
+    if (cur == nullptr) {
+      regression("kernel '" + base.name +
+                 "' present in baseline but missing from this run");
+      continue;
+    }
+    if (base.ns_per_op > 0.0 &&
+        cur->ns_per_op > base.ns_per_op * tol.kernel_ns_max_ratio)
+      regression("kernel '" + base.name + "' ns_per_op " +
+                 fmt_ratio(cur->ns_per_op, base.ns_per_op) +
+                 " exceeds max ratio " + number(tol.kernel_ns_max_ratio));
+  }
+  for (const auto& cur : current.kernels) {
+    if (find_kernel(baseline, cur.name) == nullptr)
+      info("kernel '" + cur.name +
+           "' is new (not in baseline); update the baseline to track it");
+  }
+
+  return findings;
+}
+
+}  // namespace cellscope::obs

@@ -1,0 +1,98 @@
+// Perf-regression gate core: the BENCH_cellscope.json trajectory.
+//
+// The ROADMAP demands a checked-in perf trajectory future PRs read; this is
+// it. A Trajectory aggregates one gate run — per-bench wall time, peak and
+// steady RSS, the timeline's memory slope per simulated day, throughput
+// gauges, and per-kernel ns/op from bench_perf_kernels — under the schema
+// "cellscope-bench-trajectory/1", with the comparison tolerances embedded
+// in the baseline file itself so the contract travels with the data.
+//
+// tools/perfgate orchestrates benches and calls into here; everything that
+// can regress a gate decision (manifest extraction, benchmark-JSON
+// extraction, the tolerance compare) lives in this library so tests can
+// exercise it without running a single bench.
+//
+// Tolerance philosophy: ratios are wide (2-3x wall, 1.5x RSS) because CI
+// machines are noisy and heterogeneous; the slope check is an *absolute*
+// cap in kB per simulated day, because "RSS grows every day without bound"
+// is a bug at any speed on any machine.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json_read.h"
+
+namespace cellscope::obs {
+
+// One figure-bench run, extracted from its run manifest (+ timeline block).
+struct BenchRecord {
+  std::string name;  // bench slug, e.g. "fig03-total-traffic"
+  double wall_seconds = 0.0;
+  long peak_rss_kb = 0;
+  long steady_rss_kb = 0;
+  double rss_slope_kb_per_day = 0.0;
+  double rows_per_sec = 0.0;
+  double users_per_sec = 0.0;
+};
+
+// One microbenchmark, extracted from the google-benchmark JSON report.
+struct KernelRecord {
+  std::string name;  // e.g. "BM_Entropy/4096"
+  double ns_per_op = 0.0;
+};
+
+// Per-metric comparison tolerances. Ratios bound current/baseline (or
+// baseline/current for throughput floors); the slope cap is absolute.
+struct Tolerances {
+  double wall_seconds_max_ratio = 2.5;
+  double kernel_ns_max_ratio = 3.0;
+  double peak_rss_max_ratio = 1.5;
+  double steady_rss_max_ratio = 1.5;
+  double rows_per_sec_min_ratio = 0.4;
+  double users_per_sec_min_ratio = 0.4;
+  double rss_slope_max_kb_per_day = 512.0;
+};
+
+struct Trajectory {
+  std::string schema = "cellscope-bench-trajectory/1";
+  std::string git_describe;
+  Tolerances tolerances;
+  std::vector<BenchRecord> benches;
+  std::vector<KernelRecord> kernels;
+};
+
+// One gate verdict line. `regression` findings fail the gate; the rest are
+// informational (e.g. a bench present now but absent from the baseline).
+struct GateFinding {
+  bool regression = false;
+  std::string detail;
+};
+
+// Extracts a BenchRecord from a parsed run manifest
+// (cellscope-run-manifest/1). Throws std::runtime_error on a manifest
+// missing its identity fields.
+[[nodiscard]] BenchRecord bench_from_manifest(
+    const common::JsonValue& manifest);
+
+// Extracts kernel records from a parsed google-benchmark JSON report
+// (real_time, normalized to nanoseconds). Aggregate rows (_mean/_median/
+// _stddev) are skipped.
+[[nodiscard]] std::vector<KernelRecord> kernels_from_benchmark_json(
+    const common::JsonValue& report);
+
+// Serializes / parses the trajectory. parse_trajectory throws
+// std::runtime_error on a missing or mismatched schema tag.
+void write_trajectory_json(std::ostream& os, const Trajectory& t);
+[[nodiscard]] Trajectory parse_trajectory(const common::JsonValue& doc);
+
+// Compares `current` against `baseline` under the *baseline's* tolerances.
+// Regressions: a baseline bench/kernel missing from current, a ratio bound
+// exceeded, or a current slope above the absolute cap (checked even for
+// benches the baseline has never seen). Benches new in `current` yield
+// informational findings only.
+[[nodiscard]] std::vector<GateFinding> compare_trajectories(
+    const Trajectory& baseline, const Trajectory& current);
+
+}  // namespace cellscope::obs

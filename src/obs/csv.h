@@ -1,0 +1,28 @@
+// Minimal RFC-4180 CSV field escaping shared by the obs exporters.
+//
+// Phase and metric names are caller-supplied strings; a comma, quote or
+// newline in one must not shear the row it lands in. Fields that need no
+// quoting pass through verbatim, so existing plain-name exports are
+// byte-identical to before.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cellscope::obs {
+
+inline std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos)
+    return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';  // RFC 4180: double the quote
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace cellscope::obs

@@ -93,11 +93,21 @@ void write_manifest_json(std::ostream& os, const RunManifest& m) {
 
   os << "  \"recovery\": {\"interrupted\": "
      << (m.interrupted ? "true" : "false")
+     << ", \"day_failed\": " << (m.day_failed ? "true" : "false")
      << ", \"resumed\": " << (m.resumed ? "true" : "false")
      << ", \"resumed_from_day\": " << m.resumed_from_day
      << ", \"supervisor_retries\": " << m.supervisor_retries
      << ", \"supervisor_failures\": " << m.supervisor_failures
      << ", \"supervisor_stalls\": " << m.supervisor_stalls << "}";
+
+  if (m.timeline.samples > 0) {
+    os << ",\n  \"timeline\": {\"samples\": " << m.timeline.samples
+       << ", \"steady_rss_kb\": " << m.timeline.steady_rss_kb
+       << ", \"rss_slope_kb_per_day\": "
+       << number(m.timeline.rss_slope_kb_per_day)
+       << ", \"rows_per_sec\": " << number(m.timeline.rows_per_sec)
+       << ", \"users_per_sec\": " << number(m.timeline.users_per_sec) << "}";
+  }
 
   if (m.audit_enabled) {
     os << ",\n  \"audit\": {\"enabled\": true, \"checks\": " << m.audit_checks

@@ -71,12 +71,26 @@ struct RunManifest {
   // marks a run that fast-forwarded from a checkpoint, in which case
   // `resumed_from_day` is the last restored day. The supervisor counters
   // mirror the `supervisor.*` metrics.
+  // `day_failed` marks a run the supervisor gave up on (DayFailed, exit 5):
+  // the manifest then accounts for the partial run up to the failed day.
   bool interrupted = false;
+  bool day_failed = false;
   bool resumed = false;
   int resumed_from_day = -1;
   std::uint64_t supervisor_retries = 0;
   std::uint64_t supervisor_failures = 0;
   std::uint64_t supervisor_stalls = 0;
+
+  // Run-health timeline summary (docs/OBSERVABILITY.md). Mirrors the
+  // `<slug>.timeline.csv/.json` exports; emitted only when samples exist.
+  struct TimelineSummary {
+    std::uint64_t samples = 0;
+    long steady_rss_kb = 0;
+    double rss_slope_kb_per_day = 0.0;
+    double rows_per_sec = 0.0;   // from the final sample
+    double users_per_sec = 0.0;  // from the final sample
+  };
+  TimelineSummary timeline;
 };
 
 // Serializes the manifest as a single pretty-printed JSON object.

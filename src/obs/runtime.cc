@@ -8,6 +8,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace cellscope::obs {
@@ -28,6 +29,11 @@ MetricsRegistry& metrics() {
   return instance;
 }
 
+Timeline& timeline() {
+  static Timeline instance;
+  return instance;
+}
+
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) {
@@ -38,6 +44,8 @@ void set_enabled(bool on) {
 void reset() {
   tracer().reset();
   metrics().reset();
+  timeline().reset();
+  reset_tracked_bytes();
 }
 
 std::string obs_dir_from_env() {
@@ -56,12 +64,33 @@ std::string ensure_obs_dir(const std::string& dir) {
   if (ec)
     throw std::runtime_error("obs: cannot create output dir '" + dir +
                              "': " + ec.message());
+  if (!std::filesystem::is_directory(dir, ec))
+    throw std::runtime_error("obs: output path '" + dir +
+                             "' exists but is not a directory");
+  // Probe writability up front so a bad CELLSCOPE_OBS_DIR fails the run
+  // immediately with a reason, instead of degrading silently at the first
+  // export hours later.
+  const auto probe =
+      std::filesystem::path(dir) / ".cellscope-obs-write-probe";
+  {
+    std::ofstream out(probe, std::ios::trunc);
+    out << "probe\n";
+    out.flush();
+    if (!out)
+      throw std::runtime_error("obs: output dir '" + dir +
+                               "' is not writable");
+  }
+  std::filesystem::remove(probe, ec);  // best-effort cleanup
   // Self-ignoring: even if the dir sits inside the repo (CELLSCOPE_OBS_DIR=
   // obs-out is the documented default), git never picks its contents up.
   const auto gitignore = std::filesystem::path(dir) / ".gitignore";
   if (!std::filesystem::exists(gitignore)) {
     std::ofstream out(gitignore);
     out << "*\n";
+    out.flush();
+    if (!out)
+      throw std::runtime_error("obs: cannot write '" +
+                               gitignore.string() + "'");
   }
   return dir;
 }
@@ -78,6 +107,19 @@ long peak_rss_kb() {
   }
 #endif
   return 0;
+}
+
+long current_rss_kb() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is the resident set in pages.
+  std::ifstream statm("/proc/self/statm");
+  long size_pages = 0, resident_pages = 0;
+  if (statm >> size_pages >> resident_pages) {
+    const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+    return resident_pages * page_kb;
+  }
+#endif
+  return peak_rss_kb();
 }
 
 std::string build_describe() {

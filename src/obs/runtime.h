@@ -15,14 +15,17 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace cellscope::obs {
 
 // The process-wide instances. Construction is thread-safe (C++ magic
-// statics); use is governed by the protocols in trace.h / metrics.h.
+// statics); use is governed by the protocols in trace.h / metrics.h /
+// timeline.h.
 [[nodiscard]] Tracer& tracer();
 [[nodiscard]] MetricsRegistry& metrics();
+[[nodiscard]] Timeline& timeline();
 
 // Fast path for instrumented code: is the runtime collecting?
 [[nodiscard]] bool enabled();
@@ -31,7 +34,8 @@ namespace cellscope::obs {
 // call reset() for a clean slate.
 void set_enabled(bool on);
 
-// Clears the tracer and registry (tests, or back-to-back runs).
+// Clears the tracer, registry, timeline and tracked-byte counters (tests,
+// or back-to-back runs).
 void reset();
 
 // CELLSCOPE_OBS_DIR, or an empty string when unset.
@@ -40,13 +44,19 @@ void reset();
 // Enables the runtime iff CELLSCOPE_OBS_DIR is set; returns enabled().
 bool enable_from_env();
 
-// Creates `dir` (and parents) if needed and drops a `.gitignore` ignoring
-// the whole directory, so an output dir inside a source tree can never be
-// committed. Returns `dir`; throws std::runtime_error on failure.
+// Creates `dir` (and parents) if needed, verifies it is actually writable
+// with a probe file, and drops a `.gitignore` ignoring the whole directory,
+// so an output dir inside a source tree can never be committed. Returns
+// `dir`; throws std::runtime_error with the reason on any failure
+// (uncreatable, not a directory, unwritable).
 std::string ensure_obs_dir(const std::string& dir);
 
 // Peak resident set size of this process in kB (0 where unsupported).
 [[nodiscard]] long peak_rss_kb();
+
+// Current resident set size in kB (/proc/self/statm on Linux; falls back
+// to peak_rss_kb() where unsupported).
+[[nodiscard]] long current_rss_kb();
 
 // Build provenance: the `git describe` captured at configure time, or
 // "unknown" when the build did not embed one.

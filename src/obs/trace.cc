@@ -5,6 +5,7 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/csv.h"
 #include "obs/json.h"
 
 namespace cellscope::obs {
@@ -35,6 +36,8 @@ Span::Span(Tracer* tracer, std::string name, std::string category,
       lane_(lane),
       depth_(t_live_depth) {
   ++t_live_depth;
+  if (lane_ > 0)
+    tracer_->open_worker_spans_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Span::Span(Span&& other) noexcept
@@ -64,6 +67,8 @@ void Span::close() {
   if (tracer_ == nullptr) return;
   Tracer* tracer = std::exchange(tracer_, nullptr);
   --t_live_depth;
+  if (lane_ > 0)
+    tracer->open_worker_spans_.fetch_sub(1, std::memory_order_relaxed);
   SpanRecord record;
   record.name = std::move(name_);
   record.category = std::move(category_);
@@ -101,6 +106,7 @@ void Tracer::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
   epoch_ns_ = monotonic_ns();
+  open_worker_spans_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -162,8 +168,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 void Tracer::write_phase_csv(std::ostream& os) const {
   os << "phase,category,count,total_ms,mean_ms\n";
   for (const auto& t : all_totals()) {
-    os << t.name << "," << t.category << "," << t.count << "," << t.total_ms
-       << "," << t.mean_ms() << "\n";
+    os << csv_escape(t.name) << "," << csv_escape(t.category) << ","
+       << t.count << "," << t.total_ms << "," << t.mean_ms() << "\n";
   }
 }
 

@@ -13,6 +13,7 @@
 // records nothing, so instrumented code can create spans unconditionally.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -113,12 +114,20 @@ class Tracer {
   // Microseconds since the tracer epoch (monotonic clock).
   [[nodiscard]] std::uint64_t now_us() const;
 
+  // Number of worker-lane spans (lane > 0) currently open — i.e. worker
+  // shards in flight right now. The timeline samples this as the run's
+  // concurrency gauge. Relaxed; any thread may read.
+  [[nodiscard]] std::uint32_t open_worker_spans() const {
+    return open_worker_spans_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Span;
   void record(SpanRecord record);
 
   bool enabled_ = false;
   std::uint64_t epoch_ns_ = 0;
+  std::atomic<std::uint32_t> open_worker_spans_{0};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
 };

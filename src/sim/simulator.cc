@@ -149,9 +149,10 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
   obs::Tracer& tracer = obs::tracer();
   obs::MetricsRegistry& registry = obs::metrics();
   obs::MetricId m_user_days, m_observations, m_mobility, m_cells;
-  obs::MetricId m_pool_chunks, m_pool_steals;
+  obs::MetricId m_pool_chunks, m_pool_steals, m_kpi_rows;
   obs::Histogram* day_wall_hist = nullptr;
   obs::Histogram* pool_imbalance_hist = nullptr;
+  obs::Histogram* checkpoint_hist = nullptr;
   if (obs_on) {
     m_user_days = registry.counter("sim.user_days");
     m_observations = registry.counter("sim.observations");
@@ -159,8 +160,10 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
     m_cells = registry.counter("scheduler.cells_scheduled");
     m_pool_chunks = registry.counter("pool.chunks");
     m_pool_steals = registry.counter("pool.chunks_stolen");
+    m_kpi_rows = registry.counter("sim.kpi_rows");
     day_wall_hist = &registry.histogram("sim.day_wall_ms");
     pool_imbalance_hist = &registry.histogram("pool.chunk_imbalance_pct");
+    checkpoint_hist = &registry.histogram("sim.checkpoint_ms");
   }
 
   Dataset ds;
@@ -425,6 +428,8 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
     w.f64(lte_hours);
     w.f64(legacy_hours);
     save_dataset_state(ds, w);
+    if (obs_on)
+      obs::track_bytes(obs::Subsystem::kSim, w.data().size());
     checkpoint->on_day_complete(day_done, w.take());
   };
 
@@ -926,7 +931,20 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
       // completed chunks fold into the Dataset while later chunks are
       // still being simulated.
       const auto users_span = tracer.span("day.users", "sim", day);
-      supervisor.run(day, n_users, chunk_size, work, reset_chunk, reduce);
+      try {
+        supervisor.run(day, n_users, chunk_size, work, reset_chunk, reduce);
+      } catch (DayFailed& failed) {
+        // Attach the partial Dataset so the bench can still write a
+        // manifest + quality ledger for the run before exiting 5. It holds
+        // every completed day plus whatever chunks of the failed day
+        // reduced before the drain; resume discards the failed day anyway
+        // (the checkpoint stops at the previous one).
+        ds.recovery.supervisor_retries = supervisor.stats().retries;
+        ds.recovery.supervisor_failures = supervisor.stats().failures;
+        ds.recovery.supervisor_stalls = supervisor.stats().stalls;
+        failed.partial = std::make_shared<Dataset>(std::move(ds));
+        throw;
+      }
     }
 
     // --- Serial tail: everything left after the chunk reduction. ---
@@ -1038,6 +1056,7 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
       } else {
         for (const auto cell_id : topology.lte_cells()) schedule_cell(cell_id);
       }
+      std::uint64_t day_rows = 0;
       if (!faults_on) {
         auto day_records = kpi_aggregator.finish_day();
         if (audit_on)
@@ -1045,6 +1064,7 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
                                audit_bounds, ds.audit_report);
         if (sink != nullptr && !day_records.empty())
           sink->on_kpi_day(day, day_records);
+        day_rows = day_records.size();
         ds.kpis.add_day(std::move(day_records));
       } else {
         // Warehouse-export faults: lose or duplicate whole cell-day rows.
@@ -1070,9 +1090,15 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
           audit::check_kpi_day(day, kept, audit_partition, audit_bounds,
                                ds.audit_report);
         if (sink != nullptr && !kept.empty()) sink->on_kpi_day(day, kept);
+        day_rows = kept.size();
         ds.kpis.add_day(std::move(kept));
       }
-      if (obs_on) registry.add(m_cells, cells_scheduled);
+      if (obs_on) {
+        registry.add(m_cells, cells_scheduled);
+        registry.add(m_kpi_rows, day_rows);
+        obs::track_bytes(obs::Subsystem::kSim,
+                         day_rows * sizeof(telemetry::CellDayRecord));
+      }
     }
 
     // Fold worker metric deltas into the registry at day (phase) end and
@@ -1109,8 +1135,21 @@ Dataset Simulator::run(DatasetSink* sink, CheckpointSink* checkpoint) {
     // and an interrupted run is exactly a resumable one.
     if (checkpoint != nullptr) {
       const auto ckpt_span = tracer.span("day.checkpoint", "sim", day);
+      const auto ckpt_start = std::chrono::steady_clock::now();
       save_checkpoint(day);
+      if (obs_on) {
+        const double ckpt_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() -
+                                   ckpt_start)
+                                   .count();
+        checkpoint_hist->record(ckpt_ms);
+        obs::timeline().record_checkpoint_ms(ckpt_ms);
+      }
     }
+    // Day-boundary health sample, after the checkpoint so its latency is
+    // this day's, not the previous one's. Reads clocks, /proc and counters
+    // only — a sampled run stays bit-identical to an unsampled one.
+    if (obs_on) obs::timeline().sample_day(day);
     if (interrupt_requested() && day < last_day)
       throw RunInterrupted{day, std::make_shared<Dataset>(std::move(ds))};
   }

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -33,6 +34,8 @@
 #include "sim/pool.h"
 
 namespace cellscope::sim {
+
+struct Dataset;
 
 struct SupervisorConfig {
   // Attempts per chunk (first run + retries). At least 1.
@@ -51,10 +54,14 @@ struct SupervisorStats {
 
 // Thrown (from the caller thread) when any chunk of a day exhausted its
 // attempts. The day is resumable: nothing of it was checkpointed.
+// Simulator::run attaches the Dataset as accumulated through the last
+// *completed* day, so callers can still account for the partial run (obs
+// manifest, quality ledger) before exiting with code 5.
 class DayFailed : public std::runtime_error {
  public:
   DayFailed(SimDay day, const std::string& detail);
   SimDay day;
+  std::shared_ptr<Dataset> partial;  // may be null below the Simulator
 };
 
 class Supervisor {

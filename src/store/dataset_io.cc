@@ -1,5 +1,6 @@
 #include "store/dataset_io.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -157,8 +158,19 @@ DatasetWriter::~DatasetWriter() = default;
 void DatasetWriter::on_kpi_day(SimDay day,
                                std::span<const telemetry::CellDayRecord> rows) {
   const auto span = obs::tracer().span("store.flush", "store", day);
+  const bool obs_on = obs::enabled();
+  const auto flush_start = std::chrono::steady_clock::now();
   for (const auto& r : rows) write_kpi_row(*impl_->kpis, r);
   impl_->streamed_rows += rows.size();
+  if (obs_on) {
+    const double flush_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - flush_start)
+                                .count();
+    obs::metrics().histogram("store.flush_ms").record(flush_ms);
+    obs::timeline().record_flush_ms(flush_ms);
+    obs::track_bytes(obs::Subsystem::kStore,
+                     rows.size() * sizeof(telemetry::CellDayRecord));
+  }
 }
 
 WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
@@ -414,6 +426,7 @@ WriteStats DatasetWriter::finish(const sim::Dataset& ds) {
     registry.add("store.bytes_written", stats.bytes_written);
     registry.add("store.rows_written", stats.rows_written);
     registry.add("store.shards_written", stats.shards_written);
+    obs::track_bytes(obs::Subsystem::kStore, stats.bytes_written);
   }
   return stats;
 }
@@ -569,6 +582,9 @@ ScanStats scan_kpis(
     }
     for (const auto& r : rows) row(r);
     stats.rows += rows.size();
+    // Out-of-core scans cross no day boundary for hours on a big store:
+    // the low-rate wall-clock fallback keeps the health timeline alive.
+    obs::timeline().maybe_sample();
   }
   return stats;
 }
@@ -1007,6 +1023,7 @@ ReadOutcome read_dataset(const std::string& dir,
     registry.add("store.bytes_read", out.bytes_read);
     registry.add("store.rows_read", out.rows_read);
     registry.add("store.shards_quarantined", out.shards_quarantined);
+    obs::track_bytes(obs::Subsystem::kStore, out.bytes_read);
   }
 
   out.dataset = std::move(ds);

@@ -1,0 +1,248 @@
+// Perf-regression gate core: manifest/benchmark-report extraction, the
+// trajectory write -> parse round trip, and every compare_trajectories
+// verdict class (pass, ratio regressions, throughput floors, missing
+// entries, new entries, the absolute slope cap) — all without running a
+// single bench.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json_read.h"
+#include "obs/benchgate.h"
+
+namespace cellscope::obs {
+namespace {
+
+using common::json_parse;
+
+Trajectory sample_trajectory() {
+  Trajectory t;
+  t.git_describe = "v1.0-7-gfeed";
+  BenchRecord b;
+  b.name = "fig03-national-mobility";
+  b.wall_seconds = 10.0;
+  b.peak_rss_kb = 100000;
+  b.steady_rss_kb = 80000;
+  b.rss_slope_kb_per_day = 12.5;
+  b.rows_per_sec = 50000.0;
+  b.users_per_sec = 4000.0;
+  t.benches.push_back(b);
+  b.name = "fig09-voice-traffic";
+  b.wall_seconds = 5.0;
+  t.benches.push_back(b);
+  t.kernels.push_back({"BM_Entropy/4096", 1500.0});
+  t.kernels.push_back({"BM_Gyration/1024", 800.0});
+  return t;
+}
+
+int count_regressions(const std::vector<GateFinding>& findings) {
+  int n = 0;
+  for (const auto& f : findings) n += f.regression ? 1 : 0;
+  return n;
+}
+
+TEST(BenchGate, TrajectoryJsonRoundTrips) {
+  Trajectory t = sample_trajectory();
+  t.tolerances.wall_seconds_max_ratio = 2.0;
+  t.tolerances.rss_slope_max_kb_per_day = 999.0;
+  std::ostringstream out;
+  write_trajectory_json(out, t);
+
+  const Trajectory back = parse_trajectory(json_parse(out.str()));
+  EXPECT_EQ(back.schema, "cellscope-bench-trajectory/1");
+  EXPECT_EQ(back.git_describe, "v1.0-7-gfeed");
+  EXPECT_DOUBLE_EQ(back.tolerances.wall_seconds_max_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(back.tolerances.rss_slope_max_kb_per_day, 999.0);
+  EXPECT_DOUBLE_EQ(back.tolerances.kernel_ns_max_ratio,
+                   t.tolerances.kernel_ns_max_ratio);
+  ASSERT_EQ(back.benches.size(), 2u);
+  EXPECT_EQ(back.benches[0].name, "fig03-national-mobility");
+  EXPECT_DOUBLE_EQ(back.benches[0].wall_seconds, 10.0);
+  EXPECT_EQ(back.benches[0].peak_rss_kb, 100000);
+  EXPECT_EQ(back.benches[0].steady_rss_kb, 80000);
+  EXPECT_DOUBLE_EQ(back.benches[0].rss_slope_kb_per_day, 12.5);
+  EXPECT_DOUBLE_EQ(back.benches[0].rows_per_sec, 50000.0);
+  EXPECT_DOUBLE_EQ(back.benches[0].users_per_sec, 4000.0);
+  ASSERT_EQ(back.kernels.size(), 2u);
+  EXPECT_EQ(back.kernels[0].name, "BM_Entropy/4096");
+  EXPECT_DOUBLE_EQ(back.kernels[0].ns_per_op, 1500.0);
+
+  // A round-tripped trajectory compares clean against itself.
+  EXPECT_EQ(count_regressions(compare_trajectories(t, back)), 0);
+}
+
+TEST(BenchGate, ParseRejectsWrongSchema) {
+  EXPECT_THROW(
+      (void)parse_trajectory(json_parse(R"({"schema": "something-else/9"})")),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_trajectory(json_parse("{}")), std::runtime_error);
+}
+
+TEST(BenchGate, BenchFromManifestReadsTimelineBlock) {
+  const auto manifest = json_parse(R"({
+    "schema": "cellscope-run-manifest/1",
+    "name": "fig08-network-performance",
+    "wall_seconds": 7.25,
+    "peak_rss_kb": 250000,
+    "user_days_per_sec": 99.0,
+    "timeline": {
+      "samples": 58,
+      "steady_rss_kb": 210000,
+      "rss_slope_kb_per_day": 42.0,
+      "rows_per_sec": 12345.0,
+      "users_per_sec": 6789.0
+    }
+  })");
+  const BenchRecord r = bench_from_manifest(manifest);
+  EXPECT_EQ(r.name, "fig08-network-performance");
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 7.25);
+  EXPECT_EQ(r.peak_rss_kb, 250000);
+  EXPECT_EQ(r.steady_rss_kb, 210000);
+  EXPECT_DOUBLE_EQ(r.rss_slope_kb_per_day, 42.0);
+  EXPECT_DOUBLE_EQ(r.rows_per_sec, 12345.0);
+  // The timeline's gauge wins over the top-level user_days_per_sec.
+  EXPECT_DOUBLE_EQ(r.users_per_sec, 6789.0);
+
+  // Without a timeline block the manifest-level throughput is the fallback
+  // and the memory-trajectory fields stay zero.
+  const BenchRecord bare = bench_from_manifest(json_parse(
+      R"({"name": "bare", "wall_seconds": 1.0, "user_days_per_sec": 99.0})"));
+  EXPECT_DOUBLE_EQ(bare.users_per_sec, 99.0);
+  EXPECT_EQ(bare.steady_rss_kb, 0);
+  EXPECT_DOUBLE_EQ(bare.rss_slope_kb_per_day, 0.0);
+
+  // A manifest without its identity is unusable.
+  EXPECT_THROW((void)bench_from_manifest(json_parse(R"({"wall_seconds": 1})")),
+               std::runtime_error);
+}
+
+TEST(BenchGate, KernelsFromBenchmarkJsonSkipsAggregatesAndNormalizesUnits) {
+  const auto report = json_parse(R"({
+    "benchmarks": [
+      {"name": "BM_A/64", "run_type": "iteration", "real_time": 250.0,
+       "time_unit": "ns"},
+      {"name": "BM_A/64_mean", "run_type": "aggregate", "real_time": 251.0,
+       "time_unit": "ns"},
+      {"name": "BM_B/1024", "real_time": 2.0, "time_unit": "us"},
+      {"name": "BM_C", "run_type": "iteration", "real_time": 0.003,
+       "time_unit": "ms"}
+    ]
+  })");
+  const auto kernels = kernels_from_benchmark_json(report);
+  ASSERT_EQ(kernels.size(), 3u);
+  EXPECT_EQ(kernels[0].name, "BM_A/64");
+  EXPECT_DOUBLE_EQ(kernels[0].ns_per_op, 250.0);
+  EXPECT_EQ(kernels[1].name, "BM_B/1024");  // no run_type = plain run
+  EXPECT_DOUBLE_EQ(kernels[1].ns_per_op, 2000.0);
+  EXPECT_DOUBLE_EQ(kernels[2].ns_per_op, 3000.0);
+
+  EXPECT_TRUE(kernels_from_benchmark_json(json_parse("{}")).empty());
+}
+
+TEST(BenchGate, CompareFlagsRatioRegressions) {
+  const Trajectory baseline = sample_trajectory();
+  Trajectory current = sample_trajectory();
+  // Identical run: clean.
+  EXPECT_EQ(count_regressions(compare_trajectories(baseline, current)), 0);
+
+  // Inside tolerance: slower but under the 2.5x wall ratio.
+  current.benches[0].wall_seconds = 20.0;
+  EXPECT_EQ(count_regressions(compare_trajectories(baseline, current)), 0);
+
+  // Over every max-ratio bound at once.
+  current.benches[0].wall_seconds = 30.0;     // 3.0x > 2.5x
+  current.benches[0].peak_rss_kb = 200000;    // 2.0x > 1.5x
+  current.benches[0].steady_rss_kb = 160000;  // 2.0x > 1.5x
+  current.kernels[0].ns_per_op = 6000.0;      // 4.0x > 3.0x
+  const auto findings = compare_trajectories(baseline, current);
+  EXPECT_EQ(count_regressions(findings), 4);
+  bool saw_wall = false;
+  for (const auto& f : findings)
+    if (f.regression && f.detail.find("wall_seconds") != std::string::npos &&
+        f.detail.find("fig03") != std::string::npos)
+      saw_wall = true;
+  EXPECT_TRUE(saw_wall);
+}
+
+TEST(BenchGate, CompareFlagsThroughputFloors) {
+  const Trajectory baseline = sample_trajectory();
+  Trajectory current = sample_trajectory();
+  current.benches[0].rows_per_sec = 10000.0;  // 0.2x < 0.4x floor
+  current.benches[0].users_per_sec = 1000.0;  // 0.25x < 0.4x floor
+  EXPECT_EQ(count_regressions(compare_trajectories(baseline, current)), 2);
+  // A zero-throughput baseline cannot arm the floor.
+  Trajectory no_rates = sample_trajectory();
+  for (auto& b : no_rates.benches) {
+    b.rows_per_sec = 0.0;
+    b.users_per_sec = 0.0;
+  }
+  Trajectory slow = no_rates;
+  EXPECT_EQ(count_regressions(compare_trajectories(no_rates, slow)), 0);
+}
+
+TEST(BenchGate, CompareFlagsMissingAndNewEntries) {
+  const Trajectory baseline = sample_trajectory();
+  Trajectory current = sample_trajectory();
+  current.benches.pop_back();  // fig09 gone
+  current.kernels.erase(current.kernels.begin());  // BM_Entropy gone
+  KernelRecord fresh{"BM_Fresh/1", 10.0};
+  current.kernels.push_back(fresh);
+  BenchRecord fresh_bench;
+  fresh_bench.name = "fig11-new";
+  fresh_bench.rss_slope_kb_per_day = 1.0;
+  current.benches.push_back(fresh_bench);
+
+  const auto findings = compare_trajectories(baseline, current);
+  EXPECT_EQ(count_regressions(findings), 2);  // the two missing entries
+  int informational = 0;
+  for (const auto& f : findings)
+    if (!f.regression) ++informational;
+  EXPECT_EQ(informational, 2);  // the two new entries
+}
+
+TEST(BenchGate, SlopeCapIsAbsoluteAndCoversNewBenches) {
+  Trajectory baseline = sample_trajectory();
+  baseline.tolerances.rss_slope_max_kb_per_day = 100.0;
+  Trajectory current = sample_trajectory();
+
+  // Under the cap: clean even though nonzero.
+  current.benches[0].rss_slope_kb_per_day = 99.0;
+  EXPECT_EQ(count_regressions(compare_trajectories(baseline, current)), 0);
+
+  // Over the cap on a bench the baseline knows.
+  current.benches[0].rss_slope_kb_per_day = 101.0;
+  auto findings = compare_trajectories(baseline, current);
+  EXPECT_EQ(count_regressions(findings), 1);
+  EXPECT_NE(findings[0].detail.find("rss_slope_kb_per_day"),
+            std::string::npos);
+
+  // Over the cap on a bench the baseline has never seen: still a
+  // regression — growth is a bug regardless of history.
+  current.benches[0].rss_slope_kb_per_day = 12.5;
+  BenchRecord leaky;
+  leaky.name = "fig99-leaky";
+  leaky.rss_slope_kb_per_day = 5000.0;
+  current.benches.push_back(leaky);
+  findings = compare_trajectories(baseline, current);
+  EXPECT_EQ(count_regressions(findings), 1);
+  bool saw_leak = false;
+  for (const auto& f : findings)
+    if (f.regression && f.detail.find("fig99-leaky") != std::string::npos)
+      saw_leak = true;
+  EXPECT_TRUE(saw_leak);
+}
+
+TEST(BenchGate, CompareUsesBaselineTolerancesNotCurrent) {
+  Trajectory baseline = sample_trajectory();
+  baseline.tolerances.wall_seconds_max_ratio = 1.1;
+  Trajectory current = sample_trajectory();
+  current.tolerances.wall_seconds_max_ratio = 100.0;  // must be ignored
+  current.benches[0].wall_seconds = 12.0;             // 1.2x > 1.1x
+  EXPECT_EQ(count_regressions(compare_trajectories(baseline, current)), 1);
+}
+
+}  // namespace
+}  // namespace cellscope::obs

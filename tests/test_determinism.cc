@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/runtime.h"
+#include "obs/timeline.h"
 #include "sim/checkpoint.h"
 #include "sim/dataset_audit.h"
 #include "sim/simulator.h"
@@ -109,6 +111,44 @@ TEST(DeterminismContract, AuditedRunBitIdenticalToUnaudited) {
   EXPECT_TRUE(audited.audit_report.clean());
   expect_datasets_identical(plain, audited);
   EXPECT_EQ(config_digest(plain.config), config_digest(audited.config));
+}
+
+// The run-health timeline reads clocks, /proc and registry counters —
+// never RNG streams or model state — so a sampled run must produce the
+// same Dataset, bit for bit, as an unsampled one at every worker count.
+// 1 worker (serial), 8 (contended) and 32 (far more workers than chunks
+// in flight) all compare against one unsampled serial reference.
+TEST(DeterminismContract, TimelineSampledRunBitIdenticalToUnsampled) {
+  ScenarioConfig config = default_scenario();
+  config.num_users = 1'500;
+  config.seed = 31337;
+  config.user_chunk = 128;
+
+  obs::set_enabled(false);
+  obs::reset();
+  config.worker_threads = 1;
+  const Dataset plain = run_scenario(config);
+  const auto n_days = static_cast<std::uint64_t>(config.last_day() -
+                                                 config.first_day() + 1);
+
+  for (const int workers : {1, 8, 32}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    config.worker_threads = workers;
+    obs::reset();
+    obs::set_enabled(true);
+    const Dataset sampled = run_scenario(config);
+    obs::set_enabled(false);
+    // The timeline really sampled: one day-boundary sample per simulated
+    // day, with a live RSS reading and the registry-backed gauges wired in.
+    EXPECT_GE(obs::timeline().sample_count(), n_days);
+    const auto samples = obs::timeline().samples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_GT(samples.back().rss_kb, 0);
+    EXPECT_GT(samples.back().users_per_sec, 0.0);
+    obs::reset();
+    // ...and perturbed nothing.
+    expect_datasets_identical(plain, sampled);
+  }
 }
 
 TEST(DeterminismContract, RejectsBadChunkSize) {

@@ -1,0 +1,138 @@
+// The minimal JSON reader behind the perf gate: full-syntax parsing,
+// string escapes, typed accessors that throw on mismatch, the *_or
+// convenience lookups, and loud rejection of malformed documents — a
+// broken baseline must fail the gate, not compare garbage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/json_read.h"
+
+namespace cellscope::common {
+namespace {
+
+TEST(JsonRead, ParsesScalarsAndStructure) {
+  const JsonValue doc = json_parse(R"({
+    "null": null,
+    "yes": true,
+    "no": false,
+    "int": 42,
+    "neg": -17,
+    "float": 3.5,
+    "exp": 1.25e2,
+    "str": "hello",
+    "arr": [1, 2, 3],
+    "obj": {"nested": "value"}
+  })");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.at("null").is_null());
+  EXPECT_TRUE(doc.at("yes").as_bool());
+  EXPECT_FALSE(doc.at("no").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("int").as_number(), 42.0);
+  EXPECT_EQ(doc.at("int").as_int(), 42);
+  EXPECT_EQ(doc.at("neg").as_int(), -17);
+  EXPECT_DOUBLE_EQ(doc.at("float").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(doc.at("exp").as_number(), 125.0);
+  EXPECT_EQ(doc.at("str").as_string(), "hello");
+  const auto& arr = doc.at("arr").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_EQ(doc.at("obj").at("nested").as_string(), "value");
+}
+
+TEST(JsonRead, ParsesStringEscapes) {
+  const JsonValue doc = json_parse(
+      R"({"s": "q\"b\\s\/c\n\t\r\b\f", "u": "A\u0041\u00e9\u20ac"})");
+  EXPECT_EQ(doc.at("s").as_string(), "q\"b\\s/c\n\t\r\b\f");
+  // \u escapes decode to UTF-8: A (1 byte), e-acute (2), euro sign (3).
+  EXPECT_EQ(doc.at("u").as_string(), "AA\xc3\xa9\xe2\x82\xac");
+  EXPECT_THROW((void)json_parse(R"({"x": "\u12gz"})"), std::runtime_error);
+  EXPECT_THROW((void)json_parse(R"({"x": "\q"})"), std::runtime_error);
+}
+
+TEST(JsonRead, TopLevelArraysAndWhitespaceTolerance) {
+  const JsonValue doc = json_parse("  [ {\"a\": 1} , [] , \"x\" ]  \n");
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.as_array().size(), 3u);
+  EXPECT_EQ(doc.as_array()[0].at("a").as_int(), 1);
+  EXPECT_TRUE(doc.as_array()[1].as_array().empty());
+  EXPECT_EQ(doc.as_array()[2].as_string(), "x");
+  // Empty containers parse.
+  EXPECT_TRUE(json_parse("{}").is_object());
+  EXPECT_TRUE(json_parse("[]").is_array());
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse(""), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{\"a\": 1} trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{'single': 1}"), std::runtime_error);
+  // Errors carry a byte offset so a broken baseline is diagnosable.
+  try {
+    (void)json_parse("[1, x]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonRead, TypedAccessorsThrowOnMismatch) {
+  const JsonValue doc = json_parse(R"({"n": 1, "s": "x"})");
+  EXPECT_THROW((void)doc.at("n").as_string(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("s").as_number(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("s").as_bool(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("n").as_array(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+  EXPECT_THROW((void)doc.at("n").at("key"), std::runtime_error);  // not object
+  EXPECT_TRUE(doc.has("n"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_NE(doc.find("n"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonRead, ConvenienceLookupsFallBack) {
+  const JsonValue doc =
+      json_parse(R"({"n": 2.5, "s": "name", "b": true, "wrong": "type"})");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", -1.0), 2.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("wrong", -1.0), -1.0);
+  EXPECT_EQ(doc.string_or("s", "fallback"), "name");
+  EXPECT_EQ(doc.string_or("absent", "fallback"), "fallback");
+  EXPECT_EQ(doc.string_or("n", "fallback"), "fallback");
+  EXPECT_TRUE(doc.bool_or("b", false));
+  EXPECT_FALSE(doc.bool_or("absent", false));
+}
+
+TEST(JsonRead, ParsesOwnManifestOutputFromFile) {
+  // Round-trip through a real file, shaped like the run manifest the gate
+  // consumes.
+  const std::string path =
+      testing::TempDir() + "/cellscope-json-read-test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "cellscope-run-manifest/1", "name": "t",)"
+        << R"( "wall_seconds": 1.5, "peak_rss_kb": 2048,)"
+        << R"( "timeline": {"samples": 3, "rss_slope_kb_per_day": 0.25}})";
+  }
+  const JsonValue doc = json_parse_file(path);
+  EXPECT_EQ(doc.at("schema").as_string(), "cellscope-run-manifest/1");
+  EXPECT_DOUBLE_EQ(doc.at("wall_seconds").as_number(), 1.5);
+  EXPECT_EQ(doc.at("peak_rss_kb").as_int(), 2048);
+  EXPECT_DOUBLE_EQ(
+      doc.at("timeline").number_or("rss_slope_kb_per_day", 0.0), 0.25);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)json_parse_file(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellscope::common

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -114,6 +115,31 @@ TEST_F(ObsTest, HistogramPercentilesAreExactNearestRank) {
   EXPECT_DOUBLE_EQ(one.percentile(99.0), 7.5);
 }
 
+// Nearest-rank edges under heavy duplication: a distribution that is 90%
+// one value must put every percentile through p90 on that value, and the
+// extremes (p=0, p=100) on the true min/max — no interpolation invents
+// values that were never recorded.
+TEST_F(ObsTest, HistogramPercentileEdgesWithDuplicateHeavyData) {
+  Histogram hist;
+  for (int i = 0; i < 90; ++i) hist.record(5.0);
+  for (int i = 0; i < 9; ++i) hist.record(100.0);
+  hist.record(1.0);
+  ASSERT_EQ(hist.count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 1.0);    // exact min
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), 1.0);    // rank 1 is the outlier
+  EXPECT_DOUBLE_EQ(hist.percentile(2.0), 5.0);    // into the duplicate mass
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(91.0), 5.0);   // last rank of the mass
+  EXPECT_DOUBLE_EQ(hist.percentile(92.0), 100.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 100.0);  // exact max
+  // All-identical samples: every percentile is the value.
+  Histogram flat;
+  for (int i = 0; i < 17; ++i) flat.record(3.25);
+  EXPECT_DOUBLE_EQ(flat.percentile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(flat.percentile(50.0), 3.25);
+  EXPECT_DOUBLE_EQ(flat.percentile(100.0), 3.25);
+}
+
 TEST_F(ObsTest, CountersMergeFromConcurrentShards) {
   auto& registry = metrics();
   const MetricId a = registry.counter("test.a");
@@ -196,6 +222,42 @@ TEST_F(ObsTest, ChromeTraceIsWellFormed) {
   EXPECT_NE(csv.str().find("phase,category,count,total_ms,mean_ms"),
             std::string::npos);
   EXPECT_NE(csv.str().find("day.users.shard,worker,1,"), std::string::npos);
+}
+
+// Phase and category names flow into phases.csv verbatim only when they
+// are plain; a name carrying a comma, quote or newline must come out as
+// one RFC-4180 quoted field, not shear the row apart.
+TEST_F(ObsTest, PhaseCsvEscapesHostileNames) {
+  set_enabled(true);
+  { auto s = tracer().span("import,\"kpi\" feed", "ana\nlysis"); }
+  { auto plain = tracer().span("day", "sim"); }
+  std::ostringstream csv;
+  tracer().write_phase_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("\"import,\"\"kpi\"\" feed\",\"ana\nlysis\",1,"),
+            std::string::npos);
+  // Plain names stay unquoted.
+  EXPECT_NE(text.find("day,sim,1,"), std::string::npos);
+}
+
+// The worker-lane gauge the timeline samples: lane > 0 spans count while
+// open, main-lane spans never do, and moved-from spans do not double-count.
+TEST_F(ObsTest, OpenWorkerSpansTracksWorkerLanesOnly) {
+  set_enabled(true);
+  EXPECT_EQ(tracer().open_worker_spans(), 0u);
+  {
+    auto main_lane = tracer().span("serial", "sim");
+    EXPECT_EQ(tracer().open_worker_spans(), 0u);
+    auto w1 = tracer().span("shard", "worker", -1, /*lane=*/1);
+    auto w2 = tracer().span("shard", "worker", -1, /*lane=*/2);
+    EXPECT_EQ(tracer().open_worker_spans(), 2u);
+    Span moved = std::move(w1);  // ownership transfer, not a new open
+    EXPECT_EQ(tracer().open_worker_spans(), 2u);
+    moved.close();
+    moved.close();  // idempotent
+    EXPECT_EQ(tracer().open_worker_spans(), 1u);
+  }
+  EXPECT_EQ(tracer().open_worker_spans(), 0u);
 }
 
 TEST_F(ObsTest, ManifestRoundTrip) {
